@@ -1,0 +1,63 @@
+"""Benchmark-harness fixtures.
+
+The paper-figure benchmarks share one :class:`EvalSuite` per pytest
+session (the figures are views of one simulation campaign, and full
+timing runs are expensive).  Scale defaults to 0.5 and can be overridden
+with ``REPRO_SCALE=1.0`` for paper-sized runs.
+
+Every rendered figure/table is also written to ``benchmarks/results/``
+so EXPERIMENTS.md can reference stable artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import EvalSuite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def repro_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+def repro_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return repro_scale()
+
+
+@pytest.fixture(scope="session")
+def eval_suite() -> EvalSuite:
+    """The Table-2 configuration campaign shared by Figs. 8/9 + Table 3."""
+    return EvalSuite(scale=repro_scale(), seed=repro_seed())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and save it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def shape_threshold(full_scale: float, small_scale: float) -> float:
+    """Pick a shape-assertion threshold for the current run scale.
+
+    G-Cache's contention-detection loop needs access volume to warm up
+    (DESIGN.md Section 6); below half scale its measured advantage is a
+    systematic underestimate, so the assertions relax accordingly.
+    """
+    return full_scale if repro_scale() >= 0.5 else small_scale

@@ -1,0 +1,104 @@
+"""Ablation benchmarks for G-Cache design choices (see DESIGN.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import publish, repro_scale, repro_seed
+
+from repro.experiments.ablations import (
+    adaptive_aging_ablation,
+    render_sharing_table,
+    scheduler_ablation,
+    shutdown_interval_ablation,
+    victim_bit_sharing_ablation,
+)
+from repro.stats.report import Table
+
+
+def test_ablation_victim_bit_sharing(benchmark, results_dir):
+    """S_v cores per victim bit: accuracy degrades gracefully."""
+    benches = ["SSC", "SPMV"]
+    data = benchmark.pedantic(
+        lambda: victim_bit_sharing_ablation(
+            benches, scale=repro_scale(), seed=repro_seed()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_victim_sharing", render_sharing_table(data))
+    for bench in benches:
+        full = data[bench][1].l1.miss_rate
+        cheapest = data[bench][16].l1.miss_rate
+        # Sharing may cost accuracy but must not be catastrophic.
+        assert cheapest < full + 0.15, bench
+
+
+def test_ablation_adaptive_aging(benchmark, results_dir):
+    """The Section 5.1 M-th-bypass extension on large-reuse-distance kernels."""
+    benches = ["KMN", "SSC"]
+    data = benchmark.pedantic(
+        lambda: adaptive_aging_ablation(benches, scale=repro_scale(), seed=repro_seed()),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(["benchmark", "BS IPC", "GC", "GC-M"],
+                  title="Ablation: adaptive M-th-bypass aging (speedup over BS)")
+    for bench in benches:
+        base = data[bench]["bs"]
+        table.row([
+            bench,
+            f"{base.ipc:.3f}",
+            f"{data[bench]['gc'].speedup_over(base):.3f}",
+            f"{data[bench]['gc-m'].speedup_over(base):.3f}",
+        ])
+    publish(results_dir, "ablation_adaptive_m", table.render())
+    for bench in benches:
+        base = data[bench]["bs"]
+        assert data[bench]["gc-m"].speedup_over(base) > 0.9
+
+
+def test_ablation_shutdown_interval(benchmark, results_dir):
+    """Periodic bypass-switch shutdown: the Section 4.2 knob."""
+    benches = ["SPMV"]
+    data = benchmark.pedantic(
+        lambda: shutdown_interval_ablation(
+            benches, scale=repro_scale(), seed=repro_seed()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        ["benchmark"] + [str(i) for i in sorted(data["SPMV"])],
+        title="Ablation: switch shutdown interval (L1 miss rate)",
+    )
+    for bench, runs in data.items():
+        table.row([bench] + [f"{runs[i].l1.miss_rate:.1%}" for i in sorted(runs)])
+    publish(results_dir, "ablation_shutdown", table.render())
+    rates = [r.l1.miss_rate for r in data["SPMV"].values()]
+    assert max(rates) - min(rates) < 0.2, "knob must not be destabilizing"
+
+
+def test_ablation_scheduler_interaction(benchmark, results_dir):
+    """G-Cache composes with warp scheduling (paper Section 6.2)."""
+    benches = ["SSC"]
+    data = benchmark.pedantic(
+        lambda: scheduler_ablation(benches, scale=repro_scale(), seed=repro_seed()),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(["benchmark", "sched", "BS IPC", "GC IPC", "GC speedup"],
+                  title="Ablation: warp scheduler x G-Cache")
+    for bench, per_sched in data.items():
+        for sched, runs in per_sched.items():
+            table.row([
+                bench,
+                sched,
+                f"{runs['bs'].ipc:.3f}",
+                f"{runs['gc'].ipc:.3f}",
+                f"{runs['gc'].speedup_over(runs['bs']):.3f}",
+            ])
+    publish(results_dir, "ablation_scheduler", table.render())
+    for per_sched in data.values():
+        for runs in per_sched.values():
+            assert runs["gc"].speedup_over(runs["bs"]) > 0.9

@@ -1,0 +1,22 @@
+"""Energy-comparison benchmark (extension of the paper's motivation)."""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.experiments.energy_table import energy_ratios, render_energy_table
+
+
+def test_energy_comparison(benchmark, eval_suite, results_dir):
+    data = benchmark.pedantic(
+        lambda: energy_ratios(eval_suite, designs=("bs", "gc")),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "energy_comparison", render_energy_table(eval_suite))
+
+    # Shape: G-Cache must not cost energy anywhere, and must save a
+    # measurable amount on the cache-sensitive group (fewer L2/NoC round
+    # trips + shorter runtimes).
+    assert data["GM-sensitive"]["gc"] < 1.0
+    assert data["GM-insensitive"]["gc"] < 1.05

@@ -1,0 +1,32 @@
+"""Figure 10 benchmark: the 64 KB L1 scalability study."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import publish, repro_scale, repro_seed, shape_threshold
+
+from repro.experiments.fig10_64kb import (
+    FIG10_DESIGNS,
+    fig10_speedups,
+    make_64kb_suite,
+    render_fig10,
+)
+
+
+@pytest.fixture(scope="module")
+def suite64():
+    return make_64kb_suite(scale=repro_scale(), seed=repro_seed())
+
+
+def test_fig10_64kb_speedup(benchmark, suite64, results_dir):
+    data = benchmark.pedantic(
+        lambda: fig10_speedups(suite64), rounds=1, iterations=1
+    )
+    publish(results_dir, "fig10_64kb_speedup", render_fig10(suite64))
+
+    # Shape checks (paper Section 5.3): contention is reduced but not
+    # eliminated at 64 KB, so G-Cache keeps winning on sensitive
+    # benchmarks and stays harmless on insensitive ones.
+    assert data["GM-sensitive"]["gc"] > shape_threshold(1.03, 1.005)
+    assert data["GM-insensitive"]["gc"] > 0.97

@@ -1,0 +1,26 @@
+"""Figure 2 benchmark: L1 reuse-count distribution under the baseline."""
+
+from __future__ import annotations
+
+from conftest import publish, repro_scale, repro_seed
+
+from repro.experiments.fig2_reuse import fig2_reuse_distribution, render_fig2
+
+
+def test_fig2_reuse_distribution(benchmark, results_dir):
+    data = benchmark.pedantic(
+        lambda: fig2_reuse_distribution(scale=repro_scale(), seed=repro_seed()),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig2_reuse", render_fig2(data))
+
+    # Shape checks (paper Fig. 2): most benchmarks waste a large fraction
+    # of fills; BFS is near the top (~80% zero reuse in the paper).
+    assert data["BFS"]["0"] > 0.6
+    wasted = [d["0"] for d in data.values()]
+    assert sum(1 for w in wasted if w > 0.4) >= 10, (
+        "a majority of the suite must show heavy zero-reuse"
+    )
+    # FWT's pairs reuse within the warp: far fewer dead lines.
+    assert data["FWT"]["0"] < data["BFS"]["0"]

@@ -1,0 +1,33 @@
+"""Figures 3/4 benchmark: baseline sensitivity to L1 capacity."""
+
+from __future__ import annotations
+
+from conftest import publish, repro_scale, repro_seed
+
+from repro.experiments.fig34_size_sensitivity import (
+    SIZE_SWEEP,
+    render_fig3,
+    render_fig4,
+    size_sensitivity,
+)
+
+
+def test_fig3_fig4_size_sensitivity(benchmark, results_dir):
+    data = benchmark.pedantic(
+        lambda: size_sensitivity(scale=repro_scale(), seed=repro_seed()),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig3_missrate_vs_size", render_fig3(data))
+    publish(results_dir, "fig4_speedup_vs_size", render_fig4(data))
+
+    small, big = SIZE_SWEEP[0], SIZE_SWEEP[-1]
+    improved = 0
+    for bench, runs in data.items():
+        # Larger caches may never hurt the miss rate materially...
+        assert runs[big].l1.miss_rate <= runs[small].l1.miss_rate + 0.03, bench
+        if runs[big].l1.miss_rate < runs[small].l1.miss_rate - 0.05:
+            improved += 1
+    # ... and most cache-sensitive benchmarks must clearly benefit
+    # (that is what made them cache sensitive in Table 1).
+    assert improved >= len(data) - 2

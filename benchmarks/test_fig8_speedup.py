@@ -1,0 +1,39 @@
+"""Figure 8 benchmark: IPC speedup of every design over the baseline.
+
+Regenerates the paper's main result table.  Shape assertions encode the
+paper's qualitative claims; the timed section is one full-design
+simulation of a representative cache-sensitive benchmark.
+"""
+
+from __future__ import annotations
+
+from conftest import publish, shape_threshold
+
+from repro.experiments.fig8_speedup import fig8_speedups, render_fig8
+from repro.sim.designs import make_design
+from repro.sim.simulator import simulate
+
+
+def test_fig8_speedup(benchmark, eval_suite, results_dir):
+    data = fig8_speedups(eval_suite)
+    publish(results_dir, "fig8_speedup", render_fig8(eval_suite))
+
+    # Shape checks (paper Section 5.1).
+    sensitive = data["GM-sensitive"]
+    assert sensitive["gc"] > shape_threshold(1.08, 1.02), (
+        "GC must clearly beat BS on sensitive"
+    )
+    assert sensitive["gc"] > sensitive["pdp-3"], "GC beats dynamic PDP"
+    assert data["GM-insensitive"]["gc"] > 0.97, "GC must not hurt insensitive"
+    assert data["SPMV"]["gc"] > data["SPMV"]["spdp-b"], "GC wins SPMV"
+    assert abs(data["GM-sensitive"]["bs-s"] - 1.0) < abs(
+        sensitive["gc"] - 1.0
+    ), "replacement policy alone buys less than bypass"
+
+    # Timed portion: one full G-Cache run of SPMV.
+    trace = eval_suite.trace("SPMV")
+    benchmark.pedantic(
+        lambda: simulate(trace, eval_suite.config, make_design("gc")),
+        rounds=1,
+        iterations=1,
+    )

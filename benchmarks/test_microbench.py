@@ -1,0 +1,91 @@
+"""Microbenchmarks of the simulator substrates (true pytest-benchmark
+timing, many rounds) — useful for tracking simulator performance itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.cache import Cache
+from repro.cache.policies.base import FillContext
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.core.gcache import GCacheConfig, GCachePolicy
+from repro.dram.controller import MemoryController
+from repro.dram.timing import GDDR5Timing
+from repro.gpu.coalescer import Coalescer
+from repro.noc.mesh import MeshNoC
+
+LINE = 128
+
+
+def _access_pattern(n=2000, span=512, seed=0):
+    rng = random.Random(seed)
+    return [rng.randrange(span) for _ in range(n)]
+
+
+def test_bench_cache_lru_throughput(benchmark):
+    pattern = _access_pattern()
+
+    def run():
+        cache = Cache("c", 32 * 1024, 4, LINE, LRUPolicy())
+        for now, line in enumerate(pattern):
+            if not cache.lookup(line, now).hit:
+                cache.fill(line, now)
+        return cache.stats.hits
+
+    assert benchmark(run) > 0
+
+
+def test_bench_cache_gcache_throughput(benchmark):
+    pattern = _access_pattern()
+
+    def run():
+        cache = Cache(
+            "c", 32 * 1024, 4, LINE, SRRIPPolicy(3), mgmt=GCachePolicy(GCacheConfig())
+        )
+        for now, line in enumerate(pattern):
+            if not cache.lookup(line, now).hit:
+                cache.fill(line, now, FillContext(line, victim_hint=line % 5 == 0))
+        return cache.stats.hits
+
+    assert benchmark(run) > 0
+
+
+def test_bench_coalescer(benchmark):
+    rng = random.Random(1)
+    warps = [[rng.randrange(1 << 20) for _ in range(32)] for _ in range(200)]
+
+    def run():
+        unit = Coalescer()
+        return sum(len(unit.coalesce(w)) for w in warps)
+
+    assert benchmark(run) > 0
+
+
+def test_bench_dram_controller(benchmark):
+    rng = random.Random(2)
+    addresses = [rng.randrange(1 << 16) for _ in range(2000)]
+
+    def run():
+        mc = MemoryController(0, GDDR5Timing())
+        now = 0
+        for a in addresses:
+            now = mc.request(a, now)
+        return now
+
+    assert benchmark(run) > 0
+
+
+def test_bench_mesh_noc(benchmark):
+    rng = random.Random(3)
+    pairs = [(rng.randrange(16), rng.randrange(8)) for _ in range(2000)]
+
+    def run():
+        noc = MeshNoC()
+        t = 0
+        for core, part in pairs:
+            t = noc.send_response(part, core, t)
+        return t
+
+    assert benchmark(run) > 0

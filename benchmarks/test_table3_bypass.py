@@ -1,0 +1,33 @@
+"""Table 3 benchmark: bypass ratios of G-Cache vs SPDP-B + optimal PDs."""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.experiments.common import sweep_optimal_pd
+from repro.experiments.table3_bypass import render_table3, table3_rows
+
+
+def test_table3_bypass(benchmark, eval_suite, results_dir):
+    rows = {r.benchmark: r for r in table3_rows(eval_suite)}
+    publish(results_dir, "table3_bypass", render_table3(eval_suite))
+
+    # Shape checks (paper Table 3).
+    assert rows["FWT"].gcache_bypass_ratio < 0.02, "FWT: GC bypasses ~0%"
+    assert rows["BP"].gcache_bypass_ratio < 0.02
+    active = [rows[b].gcache_bypass_ratio for b in ("BFS", "PVC", "SPMV", "IIX")]
+    assert all(r > 0.05 for r in active), "sensitive benchmarks bypass actively"
+    # Large-reuse-distance benchmarks need long PDs (KMN=24, NW=68 in the
+    # paper); ours must be clearly above the no-reuse group, whose sweep
+    # degenerates to the minimum.
+    assert rows["KMN"].optimal_pd > rows["SD1"].optimal_pd
+    assert rows["KMN"].optimal_pd >= 8
+    assert rows["SD1"].optimal_pd <= 8
+
+    # Timed portion: the offline PD sweep itself.
+    trace = eval_suite.trace("SPMV")
+    benchmark.pedantic(
+        lambda: sweep_optimal_pd(trace, eval_suite.config),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Watch G-Cache's detection loop converge over a run.
+
+Samples the simulator every few thousand cycles and prints per-window
+miss and bypass rates as sparklines: you can see the victim-bit
+contention detector warm up, the bypass switches arm, and the miss rate
+settle — the transient behaviour the end-of-run counters average away.
+
+Run:
+    python examples/convergence_watch.py --benchmark SSC --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GPUConfig, make_design
+from repro.sim.simulator import GPU
+from repro.stats.timeline import Timeline
+from repro.trace.suite import ALL_BENCHMARKS, build_benchmark
+
+
+def run_with_timeline(trace, config, design_key: str):
+    timeline = Timeline(interval=max(512, 64 * config.num_cores))
+    gpu = GPU(config, make_design(design_key), timeline=timeline)
+    result = gpu.run(trace)
+    return result, timeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="SSC", choices=ALL_BENCHMARKS)
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    config = GPUConfig()
+    trace = build_benchmark(args.benchmark, scale=args.scale)
+
+    for key in ("bs", "gc"):
+        result, timeline = run_with_timeline(trace, config, key)
+        print(f"\n{key.upper()}  (final IPC {result.ipc:.3f}, "
+              f"miss {result.l1.miss_rate:.1%}, "
+              f"bypass {result.l1.bypass_ratio:.1%})")
+        print(f"  miss rate   {timeline.sparkline('miss_rate')}")
+        print(f"  bypass rate {timeline.sparkline('bypass_rate')}")
+        print(f"  ipc         {timeline.sparkline('ipc')}")
+        windows = timeline.windows()
+        if windows:
+            first, last = windows[0], windows[-1]
+            print(f"  first window: miss {first.miss_rate:.1%}  "
+                  f"last window: miss {last.miss_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

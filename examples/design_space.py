@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the Sweep utility.
+
+Crosses cache designs with L1 capacities on one workload, prints metric
+tables, and closes with the paper's Section-4.3 hardware-cost comparison
+— the "is the speedup worth the silicon" view.
+
+Run:
+    python examples/design_space.py --benchmark SYRK --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.overhead import overhead_table
+from repro.sim.config import GPUConfig
+from repro.sim.sweep import Sweep
+from repro.trace.suite import ALL_BENCHMARKS, build_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="SYRK", choices=ALL_BENCHMARKS)
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    trace = build_benchmark(args.benchmark, scale=args.scale)
+    sweep = (
+        Sweep(trace)
+        .designs("bs", "bs-s", "spdp-b:16", "gc")
+        .configs(l1_size=[16 * 1024, 32 * 1024, 64 * 1024])
+    )
+    print(sweep.table("ipc").render())
+    print()
+    print(sweep.table("miss_rate").render())
+    print()
+    print(sweep.table("bypass_ratio").render())
+    print()
+    print(overhead_table(GPUConfig()).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare every cache-management design on a chosen benchmark.
+
+Runs BS, BS-S, PDP-3, PDP-8, SPDP-B (with an offline-swept PD) and
+G-Cache on one workload and prints a side-by-side comparison — a
+single-benchmark slice of the paper's Figures 8/9 and Table 3.
+
+Run:
+    python examples/policy_comparison.py --benchmark SSC --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GPUConfig, make_design, simulate
+from repro.experiments.common import sweep_optimal_pd
+from repro.stats.report import Table
+from repro.trace.suite import ALL_BENCHMARKS, build_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="SSC", choices=ALL_BENCHMARKS)
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    config = GPUConfig()
+    trace = build_benchmark(args.benchmark, scale=args.scale)
+
+    pd = sweep_optimal_pd(trace, config)
+    print(f"Offline PD sweep for SPDP-B picked PD = {pd}")
+
+    designs = [
+        ("bs", make_design("bs")),
+        ("bs-s", make_design("bs-s")),
+        ("pdp-3", make_design("pdp-3")),
+        ("pdp-8", make_design("pdp-8")),
+        ("spdp-b", make_design("spdp-b", pd=pd)),
+        ("gc", make_design("gc")),
+        ("gc-m", make_design("gc-m")),
+    ]
+
+    results = {}
+    for key, spec in designs:
+        print(f"simulating {key} ...")
+        results[key] = simulate(trace, config, spec)
+
+    base = results["bs"]
+    table = Table(
+        ["design", "IPC", "speedup", "L1 miss", "bypass", "DRAM reqs"],
+        title=f"{trace.name} under every design ({config.describe()})",
+    )
+    for key, _ in designs:
+        r = results[key]
+        table.row(
+            [
+                key.upper(),
+                f"{r.ipc:.3f}",
+                f"{r.speedup_over(base):.3f}",
+                f"{r.l1.miss_rate:.1%}",
+                f"{r.l1.bypass_ratio:.1%}",
+                f"{r.dram_requests:,}",
+            ]
+        )
+    print()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (PEP 660 editable builds require it); all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

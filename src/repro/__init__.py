@@ -1,0 +1,48 @@
+"""repro — G-Cache: adaptive cache bypass and insertion for many-core accelerators.
+
+A trace-driven reproduction of Chen et al., "Adaptive Cache Bypass and
+Insertion for Many-core Accelerators" (MES '14): a Fermi-class GPU memory
+hierarchy simulator with pluggable L1 cache-management designs (baseline
+LRU, SRRIP, the PDP family, and the paper's G-Cache), the Table-1
+benchmark suite as synthetic trace generators, and harnesses regenerating
+every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import GPUConfig, make_design, simulate
+    from repro.trace.suite import build_benchmark
+
+    trace = build_benchmark("SPMV")
+    base = simulate(trace, GPUConfig(), make_design("bs"))
+    gc = simulate(trace, GPUConfig(), make_design("gc"))
+    print(f"speedup: {gc.speedup_over(base):.2f}x")
+"""
+
+from repro.core import GCacheConfig, GCachePolicy, VictimBitDirectory
+from repro.sim import (
+    DESIGN_KEYS,
+    DesignSpec,
+    GPU,
+    GPUConfig,
+    RunResult,
+    make_design,
+    replay,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GCacheConfig",
+    "GCachePolicy",
+    "VictimBitDirectory",
+    "GPUConfig",
+    "DesignSpec",
+    "DESIGN_KEYS",
+    "make_design",
+    "GPU",
+    "RunResult",
+    "simulate",
+    "replay",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Generic set-associative cache substrate.
+
+Provides tag-array modelling (:class:`~repro.cache.cache.Cache`), MSHRs,
+pluggable replacement policies (:mod:`repro.cache.replacement`) and
+management policies (:mod:`repro.cache.policies`).
+"""
+
+from repro.cache.cache import Cache, FillResult, LookupResult
+from repro.cache.line import CacheLine
+from repro.cache.mshr import MSHREntry, MSHRFile
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "FillResult",
+    "LookupResult",
+    "MSHREntry",
+    "MSHRFile",
+]

@@ -1,0 +1,285 @@
+"""Set-associative cache with pluggable replacement and management.
+
+The cache models the *tag array only* and works in **line addresses**
+(byte address >> log2(line size)); coalescing happens upstream in
+:mod:`repro.gpu.coalescer`.  Write semantics (write-through no-allocate
+for the GPU L1, write-back write-allocate for the L2) are selected by
+constructor flags, matching Section 2.2 of the paper.
+
+Lookups and fills are separate operations because in the modelled GPU an
+L1 miss travels to the L2 and the *response* (carrying the victim-bit
+hint) triggers the fill — the management policy needs that hint to make
+its bypass/insertion decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.line import CacheLine
+from repro.cache.policies.base import (
+    FillContext,
+    FillDecision,
+    ManagementPolicy,
+    NullManagementPolicy,
+)
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.stats.counters import CacheStats
+
+__all__ = ["Cache", "LookupResult", "FillResult"]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a tag lookup."""
+
+    hit: bool
+    set_index: int
+    way: int = -1
+    line: Optional[CacheLine] = None
+
+
+@dataclass
+class FillResult:
+    """Outcome of a fill attempt."""
+
+    set_index: int
+    inserted: bool = False
+    bypassed: bool = False
+    already_present: bool = False
+    way: int = -1
+    evicted_tag: int = -1
+    writeback: bool = False
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class Cache:
+    """One set-associative cache bank.
+
+    Args:
+        name: Human-readable identifier (appears in reports).
+        size_bytes: Total data capacity.
+        ways: Associativity.
+        line_size: Line size in bytes (Table 2: 128 B).
+        replacement: Replacement policy instance (one per cache).
+        mgmt: Management (bypass/insertion) policy; defaults to a
+            conventional always-insert policy.
+        write_back: ``True`` for write-back (L2), ``False`` for
+            write-through (L1).
+        write_allocate: Whether store misses allocate a line (L2 yes,
+            L1 no).
+        pre_shift: Number of low line-address bits consumed by bank
+            interleaving before set selection (log2 of the bank count for
+            an L2 bank; 0 for a private L1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        line_size: int,
+        replacement: ReplacementPolicy,
+        mgmt: Optional[ManagementPolicy] = None,
+        write_back: bool = False,
+        write_allocate: bool = False,
+        pre_shift: int = 0,
+    ) -> None:
+        if size_bytes % (ways * line_size) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_size})"
+            )
+        num_sets = size_bytes // (ways * line_size)
+        if not _is_pow2(num_sets):
+            raise ValueError(f"{name}: number of sets must be a power of two, got {num_sets}")
+        if write_allocate and not write_back:
+            raise ValueError(f"{name}: write-allocate requires write-back in this model")
+
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = num_sets
+        self.pre_shift = pre_shift
+        self.write_back = write_back
+        self.write_allocate = write_allocate
+        self.replacement = replacement
+        self.mgmt = mgmt if mgmt is not None else NullManagementPolicy()
+        self.stats = CacheStats()
+        self.sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(ways)] for _ in range(num_sets)
+        ]
+        self._set_mask = num_sets - 1
+        self._repl_binds = hasattr(replacement, "bind_set")
+        self._repl_misses = hasattr(replacement, "record_miss")
+        self.mgmt.attach(self)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def set_index(self, line_addr: int) -> int:
+        """Map a line address to its set."""
+        return (line_addr >> self.pre_shift) & self._set_mask
+
+    def find_way(self, line_addr: int) -> int:
+        """Return the way holding ``line_addr``, or -1 (no state change)."""
+        ways = self.sets[self.set_index(line_addr)]
+        for i, line in enumerate(ways):
+            if line.valid and line.tag == line_addr:
+                return i
+        return -1
+
+    def probe(self, line_addr: int) -> bool:
+        """Tag check with no statistics or state updates."""
+        return self.find_way(line_addr) >= 0
+
+    # ------------------------------------------------------------------
+    # Access operations
+    # ------------------------------------------------------------------
+    def lookup(self, line_addr: int, now: int, is_write: bool = False) -> LookupResult:
+        """Perform a demand lookup, updating stats and recency state."""
+        set_index = self.set_index(line_addr)
+        ways = self.sets[set_index]
+        if self._repl_binds:
+            self.replacement.bind_set(set_index)
+
+        if is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == line_addr:
+                line.use_count += 1
+                line.last_access = now
+                if is_write:
+                    self.stats.store_hits += 1
+                    if self.write_back:
+                        line.dirty = True
+                else:
+                    self.stats.load_hits += 1
+                self.replacement.on_hit(ways, way, now)
+                self.mgmt.on_hit(self, set_index, way, now)
+                return LookupResult(hit=True, set_index=set_index, way=way, line=line)
+
+        if self._repl_misses:
+            self.replacement.record_miss(set_index)
+        self.mgmt.on_miss(self, set_index, now)
+        return LookupResult(hit=False, set_index=set_index)
+
+    def fill(self, line_addr: int, now: int, ctx: Optional[FillContext] = None) -> FillResult:
+        """Bring ``line_addr`` into the cache, subject to the management policy.
+
+        Returns a :class:`FillResult` describing whether the line was
+        inserted, bypassed, or found already present (e.g. filled by a
+        concurrent request that was merged in the MSHRs).
+        """
+        if ctx is None:
+            ctx = FillContext(line_addr=line_addr)
+        set_index = self.set_index(line_addr)
+        ways = self.sets[set_index]
+        if self._repl_binds:
+            self.replacement.bind_set(set_index)
+
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == line_addr:
+                return FillResult(set_index=set_index, already_present=True, way=way)
+
+        decision = self.mgmt.fill_decision(self, set_index, ctx, now)
+        if decision is FillDecision.BYPASS:
+            self.stats.bypasses += 1
+            self.mgmt.on_bypass(self, set_index, ctx, now)
+            return FillResult(set_index=set_index, bypassed=True)
+
+        # Prefer an invalid way; otherwise ask the management policy, then
+        # the replacement policy, for a victim.
+        way = -1
+        for i, line in enumerate(ways):
+            if not line.valid:
+                way = i
+                break
+
+        evicted_tag = -1
+        writeback = False
+        if way < 0:
+            chosen = self.mgmt.choose_victim(self, set_index, now)
+            way = chosen if chosen is not None else self.replacement.select_victim(ways, now)
+            victim = ways[way]
+            evicted_tag = victim.tag
+            writeback = self.write_back and victim.dirty
+            self._retire(set_index, way, victim, now)
+
+        line = ways[way]
+        line.fill(line_addr, now)
+        if ctx.is_write and self.write_allocate:
+            line.dirty = True
+        self.stats.fills += 1
+        self.replacement.on_fill(ways, way, now)
+        self.mgmt.on_insert(self, set_index, way, ctx, now)
+        return FillResult(
+            set_index=set_index,
+            inserted=True,
+            way=way,
+            evicted_tag=evicted_tag,
+            writeback=writeback,
+        )
+
+    def invalidate(self, line_addr: int, now: int = 0) -> bool:
+        """Drop ``line_addr`` if present; returns whether it was resident."""
+        set_index = self.set_index(line_addr)
+        for way, line in enumerate(self.sets[set_index]):
+            if line.valid and line.tag == line_addr:
+                self._retire(set_index, way, line, now)
+                line.reset()
+                return True
+        return False
+
+    def _retire(self, set_index: int, way: int, line: CacheLine, now: int) -> None:
+        """Account for the end of a generation (eviction path)."""
+        self.stats.evictions += 1
+        if self.write_back and line.dirty:
+            self.stats.writebacks += 1
+        self.stats.reuse.record(line.use_count)
+        self.mgmt.on_evict(self, set_index, way, line, now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Close out remaining generations (call once, at end of run)."""
+        for set_lines in self.sets:
+            for line in set_lines:
+                if line.valid:
+                    self.stats.reuse.record(line.use_count)
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty writebacks."""
+        dirty = 0
+        for set_lines in self.sets:
+            for line in set_lines:
+                if line.valid:
+                    if self.write_back and line.dirty:
+                        dirty += 1
+                    line.reset()
+        return dirty
+
+    def resident_lines(self) -> List[int]:
+        """Line addresses currently resident (diagnostics and tests)."""
+        return [
+            line.tag
+            for set_lines in self.sets
+            for line in set_lines
+            if line.valid
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cache {self.name}: {self.size_bytes >> 10}KB "
+            f"{self.ways}-way x{self.num_sets} sets, "
+            f"repl={self.replacement.name}, mgmt={self.mgmt.name}>"
+        )

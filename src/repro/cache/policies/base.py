@@ -1,0 +1,106 @@
+"""Management-policy interface: bypass + insertion control.
+
+A *management policy* sits above the replacement policy and decides, per
+fill, whether to insert or bypass, which victim to evict, and with what
+insertion state.  The baseline designs (BS, BS-S) use the
+:class:`NullManagementPolicy`, which never bypasses and delegates fully to
+the replacement policy; PDP and G-Cache override the hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.cache import Cache
+    from repro.cache.line import CacheLine
+
+__all__ = ["FillDecision", "FillContext", "ManagementPolicy", "NullManagementPolicy"]
+
+
+class FillDecision(Enum):
+    """Outcome of the fill-time bypass decision."""
+
+    INSERT = "insert"
+    BYPASS = "bypass"
+
+
+@dataclass
+class FillContext:
+    """Metadata accompanying a fill request into a cache.
+
+    Attributes:
+        line_addr: Line address being filled.
+        victim_hint: The victim-bit value attached to the L2 response
+            (G-Cache, Section 4.2): ``True`` means this L1 requested the
+            line before and lost it to early eviction.
+        src_id: Identifier of the requesting L1 / SIMT core (used by the
+            L2 victim-bit directory).
+        is_write: Whether the triggering access was a store (only relevant
+            for write-allocate caches).
+    """
+
+    line_addr: int
+    victim_hint: bool = False
+    src_id: int = 0
+    is_write: bool = False
+
+
+class ManagementPolicy:
+    """Bypass / insertion hooks layered over a replacement policy.
+
+    All hooks are optional; the defaults implement "always insert, let the
+    replacement policy pick victims", i.e. a conventional cache.
+    """
+
+    name = "none"
+
+    def attach(self, cache: "Cache") -> None:
+        """Called once when the policy is bound to its cache."""
+
+    def on_hit(self, cache: "Cache", set_index: int, way: int, now: int) -> None:
+        """A lookup hit ``cache[set_index][way]``."""
+
+    def on_miss(self, cache: "Cache", set_index: int, now: int) -> None:
+        """A lookup missed in ``set_index`` (before any fill)."""
+
+    def fill_decision(
+        self, cache: "Cache", set_index: int, ctx: FillContext, now: int
+    ) -> FillDecision:
+        """Decide whether the incoming fill is inserted or bypassed."""
+        return FillDecision.INSERT
+
+    def choose_victim(
+        self, cache: "Cache", set_index: int, now: int
+    ) -> Optional[int]:
+        """Pick the victim way, or ``None`` to defer to replacement."""
+        return None
+
+    def on_insert(
+        self, cache: "Cache", set_index: int, way: int, ctx: FillContext, now: int
+    ) -> None:
+        """Adjust insertion state after the replacement policy's on_fill."""
+
+    def on_bypass(
+        self, cache: "Cache", set_index: int, ctx: FillContext, now: int
+    ) -> None:
+        """A fill into ``set_index`` was bypassed."""
+
+    def on_evict(
+        self, cache: "Cache", set_index: int, way: int, line: "CacheLine", now: int
+    ) -> None:
+        """``line`` is about to be evicted from ``cache[set_index][way]``."""
+
+    def epoch(self, now: int) -> None:
+        """Periodic housekeeping (e.g. G-Cache bypass-switch shutdown)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+class NullManagementPolicy(ManagementPolicy):
+    """Conventional cache behaviour: insert everything, never bypass."""
+
+    name = "none"

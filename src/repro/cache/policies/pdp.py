@@ -1,0 +1,307 @@
+"""Protection-Distance Policies (PDP) [Duong et al., MICRO-45 '12].
+
+The paper compares G-Cache against three PDP configurations applied to the
+GPU L1:
+
+* **PDP-3** — dynamic PDP with 3-bit per-line protecting-distance counters
+  (coarsely quantized decrements, cheaper but less stable),
+* **PDP-8** — dynamic PDP with 8-bit counters (near-exact),
+* **SPDP-B** — *static* PDP with bypass, using the best per-benchmark PD
+  found by an offline sweep (the paper's Table 3 lists the optimal PDs).
+
+Mechanism: every line carries a protecting-distance counter (PDC).  A fill
+or a hit (re)sets the PDC; every access to the set decrements the PDCs of
+all its lines (once per ``step`` accesses when quantized).  A line is
+*protected* while its PDC is positive.  The victim must be an unprotected
+line; if every line is protected, the incoming fill is **bypassed**.
+
+The dynamic variants sample reuse distances (RD, measured in accesses to
+the same set) through per-set FIFOs into an RDD histogram and periodically
+choose the PD maximizing the hits-per-unit-occupancy estimator from the
+PDP paper:
+
+    E(dp) = sum_{i<=dp} N_i  /  ( sum_{i<=dp} i*N_i + (N_t - sum_{i<=dp} N_i) * dp )
+
+where ``N_i`` is the RDD count at distance ``i`` and ``N_t`` the total
+number of sampled accesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from repro.cache.policies.base import (
+    FillContext,
+    FillDecision,
+    ManagementPolicy,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.cache import Cache
+
+__all__ = ["StaticPDPPolicy", "DynamicPDPPolicy", "ReuseDistanceSampler", "optimal_pd"]
+
+
+def optimal_pd(rdd: List[int], total: int, max_pd: int, min_pd: int = 1) -> int:
+    """Choose the protecting distance maximizing the PDP estimator.
+
+    Args:
+        rdd: Histogram of sampled reuse distances; ``rdd[i]`` counts
+            accesses whose previous touch was ``i`` set-accesses earlier.
+            Index 0 is unused (an RD of 0 is impossible).
+        total: Total number of sampled accesses, including those whose
+            reuse distance exceeded the sampler's reach (treated as
+            never-reused within any candidate PD).
+        max_pd: Largest representable PD.
+        min_pd: Smallest PD to consider.
+
+    Returns:
+        The PD in ``[min_pd, max_pd]`` with the highest estimated hit rate
+        per unit of cache occupancy; ties go to the smaller PD.
+    """
+    if total <= 0:
+        return max(min_pd, 1)
+    best_pd = min_pd
+    best_e = -1.0
+    hits = 0
+    weighted = 0
+    limit = min(max_pd, len(rdd) - 1)
+    for dp in range(1, limit + 1):
+        n = rdd[dp] if dp < len(rdd) else 0
+        hits += n
+        weighted += dp * n
+        if dp < min_pd:
+            continue
+        denom = weighted + (total - hits) * dp
+        e = hits / denom if denom > 0 else 0.0
+        if e > best_e + 1e-12:
+            best_e = e
+            best_pd = dp
+    return best_pd
+
+
+class ReuseDistanceSampler:
+    """Per-set FIFO reuse-distance sampler feeding an RDD histogram.
+
+    Each sampled set keeps a FIFO of the last ``fifo_depth`` line
+    addresses accessed in it.  An access whose line appears at position
+    ``d`` from the most-recent end has reuse distance ``d``; accesses not
+    found in the FIFO count only toward the total (distance unknown and
+    larger than the FIFO reach).
+
+    Args:
+        num_sets: Sets in the cache being sampled.
+        fifo_depth: FIFO length (paper: 32 for PDP-3/PDP-8, 256 for
+            SPDP-B's offline characterization).
+        rdd_size: Number of RDD counters (paper: 256).
+        sample_every: Sample one set in ``sample_every`` (1 = all sets).
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        fifo_depth: int = 32,
+        rdd_size: int = 256,
+        sample_every: int = 1,
+    ) -> None:
+        if fifo_depth < 1:
+            raise ValueError(f"fifo_depth must be >= 1, got {fifo_depth}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.fifo_depth = fifo_depth
+        self.rdd_size = rdd_size
+        self.sample_every = sample_every
+        self._fifos: dict[int, Deque[int]] = {
+            s: deque(maxlen=fifo_depth)
+            for s in range(num_sets)
+            if s % sample_every == 0
+        }
+        self.rdd: List[int] = [0] * (rdd_size + 1)
+        self.total = 0
+
+    def observe(self, set_index: int, line_addr: int) -> Optional[int]:
+        """Record an access; returns the measured RD or ``None``."""
+        fifo = self._fifos.get(set_index)
+        if fifo is None:
+            return None
+        self.total += 1
+        rd: Optional[int] = None
+        # Scan from the most recent entry (right end of the deque).
+        for pos, addr in enumerate(reversed(fifo), start=1):
+            if addr == line_addr:
+                rd = pos
+                break
+        if rd is not None:
+            self.rdd[min(rd, self.rdd_size)] += 1
+        fifo.append(line_addr)
+        return rd
+
+    def decay(self) -> None:
+        """Halve all counters (epoch aging, as in the PDP paper)."""
+        self.rdd = [c >> 1 for c in self.rdd]
+        self.total >>= 1
+
+
+class StaticPDPPolicy(ManagementPolicy):
+    """PDP with a fixed protecting distance and bypass (SPDP-B).
+
+    Args:
+        pd: The protecting distance.
+        counter_bits: Width of the per-line PDC.  When ``pd`` exceeds the
+            representable range, decrements happen once every
+            ``ceil(pd / (2**bits - 1))`` set accesses (the PDP paper's
+            quantization scheme).
+        bypass: Whether a fully protected set bypasses the incoming fill
+            (the "-B" in SPDP-B).  Without bypass, the line with the
+            smallest PDC is evicted.
+    """
+
+    name = "spdp-b"
+
+    def __init__(self, pd: int, counter_bits: int = 8, bypass: bool = True) -> None:
+        if pd < 1:
+            raise ValueError(f"protecting distance must be >= 1, got {pd}")
+        if counter_bits < 1:
+            raise ValueError(f"counter_bits must be >= 1, got {counter_bits}")
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self.bypass = bypass
+        self._cache: Optional["Cache"] = None
+        self._set_ticks: List[int] = []
+        self.pd = 0
+        self.step = 1
+        self.set_pd(pd)
+
+    def set_pd(self, pd: int) -> None:
+        """Change the protecting distance (used by the dynamic variant)."""
+        self.pd = pd
+        # Quantization: a PDC decrement represents `step` set accesses.
+        self.step = max(1, -(-pd // self.counter_max))  # ceil division
+
+    def _initial_pdc(self) -> int:
+        return min(self.counter_max, -(-self.pd // self.step))
+
+    def attach(self, cache: "Cache") -> None:
+        self._cache = cache
+        self._set_ticks = [0] * cache.num_sets
+
+    def _tick_set(self, cache: "Cache", set_index: int) -> None:
+        """Advance the set's access clock; decrement PDCs on step boundary."""
+        self._set_ticks[set_index] += 1
+        if self._set_ticks[set_index] % self.step != 0:
+            return
+        for line in cache.sets[set_index]:
+            if line.valid and line.pd_counter > 0:
+                line.pd_counter -= 1
+
+    def on_hit(self, cache: "Cache", set_index: int, way: int, now: int) -> None:
+        self._tick_set(cache, set_index)
+        cache.sets[set_index][way].pd_counter = self._initial_pdc()
+
+    def on_miss(self, cache: "Cache", set_index: int, now: int) -> None:
+        self._tick_set(cache, set_index)
+
+    def _unprotected_way(self, cache: "Cache", set_index: int) -> Optional[int]:
+        ways = cache.sets[set_index]
+        best = None
+        best_pdc = None
+        for i, line in enumerate(ways):
+            if not line.valid:
+                return i
+            if line.pd_counter == 0:
+                # Among unprotected lines prefer the least-recently filled.
+                if best is None or line.fill_time < best_pdc:
+                    best = i
+                    best_pdc = line.fill_time
+        return best
+
+    def fill_decision(
+        self, cache: "Cache", set_index: int, ctx: FillContext, now: int
+    ) -> FillDecision:
+        if not self.bypass:
+            return FillDecision.INSERT
+        if self._unprotected_way(cache, set_index) is None:
+            return FillDecision.BYPASS
+        return FillDecision.INSERT
+
+    def choose_victim(self, cache: "Cache", set_index: int, now: int) -> Optional[int]:
+        way = self._unprotected_way(cache, set_index)
+        if way is not None:
+            return way
+        # Reachable only with bypass disabled: evict the smallest PDC.
+        ways = cache.sets[set_index]
+        return min(range(len(ways)), key=lambda i: ways[i].pd_counter)
+
+    def on_insert(
+        self, cache: "Cache", set_index: int, way: int, ctx: FillContext, now: int
+    ) -> None:
+        cache.sets[set_index][way].pd_counter = self._initial_pdc()
+
+
+class DynamicPDPPolicy(StaticPDPPolicy):
+    """Dynamic PDP (PDP-3 / PDP-8): PD recomputed from sampled RDDs.
+
+    Args:
+        counter_bits: PDC width — 3 for PDP-3, 8 for PDP-8.
+        fifo_depth: Reuse-distance sampler FIFO length (paper: 32).
+        rdd_size: Number of RDD counters (paper: 256).
+        epoch_accesses: Recompute the PD every this many observed
+            accesses; counters decay (halve) at each recompute.
+        initial_pd: PD used before the first recompute.
+        max_pd: Upper bound on the chosen PD (defaults to the sampler's
+            RDD reach).
+    """
+
+    def __init__(
+        self,
+        counter_bits: int = 3,
+        fifo_depth: int = 32,
+        rdd_size: int = 256,
+        epoch_accesses: int = 4096,
+        initial_pd: int = 4,
+        max_pd: Optional[int] = None,
+    ) -> None:
+        super().__init__(pd=initial_pd, counter_bits=counter_bits, bypass=True)
+        self.name = f"pdp-{counter_bits}"
+        self.fifo_depth = fifo_depth
+        self.rdd_size = rdd_size
+        self.epoch_accesses = epoch_accesses
+        self.max_pd = max_pd if max_pd is not None else rdd_size
+        self._sampler: Optional[ReuseDistanceSampler] = None
+        self._since_epoch = 0
+        self.pd_history: List[int] = [initial_pd]
+
+    def attach(self, cache: "Cache") -> None:
+        super().attach(cache)
+        self._sampler = ReuseDistanceSampler(
+            num_sets=cache.num_sets,
+            fifo_depth=self.fifo_depth,
+            rdd_size=self.rdd_size,
+        )
+
+    def _observe(self, cache: "Cache", set_index: int, line_addr: int) -> None:
+        assert self._sampler is not None
+        self._sampler.observe(set_index, line_addr)
+        self._since_epoch += 1
+        if self._since_epoch >= self.epoch_accesses:
+            self._since_epoch = 0
+            new_pd = optimal_pd(self._sampler.rdd, self._sampler.total, self.max_pd)
+            self._sampler.decay()
+            self.set_pd(new_pd)
+            self.pd_history.append(new_pd)
+
+    def on_hit(self, cache: "Cache", set_index: int, way: int, now: int) -> None:
+        self._observe(cache, set_index, cache.sets[set_index][way].tag)
+        super().on_hit(cache, set_index, way, now)
+
+    def on_miss(self, cache: "Cache", set_index: int, now: int) -> None:
+        # The missing address is observed at fill time (on_insert/on_bypass
+        # both funnel through fill_decision, where ctx carries the address).
+        super().on_miss(cache, set_index, now)
+
+    def fill_decision(
+        self, cache: "Cache", set_index: int, ctx: FillContext, now: int
+    ) -> FillDecision:
+        self._observe(cache, set_index, ctx.line_addr)
+        return super().fill_decision(cache, set_index, ctx, now)

@@ -1,0 +1,44 @@
+"""Pluggable replacement policies for the generic cache substrate."""
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.belady import NEVER, BeladyPolicy
+from repro.cache.replacement.lru import FIFOPolicy, LRUPolicy, MRUPolicy
+from repro.cache.replacement.nru import NRUPolicy
+from repro.cache.replacement.random_policy import RandomPolicy
+from repro.cache.replacement.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "FIFOPolicy",
+    "NRUPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "BeladyPolicy",
+    "NEVER",
+]
+
+
+def make_replacement(name: str, **kwargs) -> ReplacementPolicy:
+    """Build a replacement policy by name (used by configs and CLIs)."""
+    registry = {
+        "lru": LRUPolicy,
+        "mru": MRUPolicy,
+        "fifo": FIFOPolicy,
+        "nru": NRUPolicy,
+        "random": RandomPolicy,
+        "srrip": SRRIPPolicy,
+        "brrip": BRRIPPolicy,
+        "drrip": DRRIPPolicy,
+        "opt": BeladyPolicy,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; known: {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,64 @@
+"""Replacement-policy interface.
+
+A replacement policy owns the *recency state* of the lines in one cache
+(it is instantiated per cache, and operates on one set at a time).  It is
+deliberately minimal — three hooks — so that management policies (bypass /
+insertion, :mod:`repro.cache.policies`) can compose with any of them.
+
+All hooks receive the full list of ways for the affected set so that
+policies with set-global behaviour (e.g. RRIP aging) can be expressed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.cache.line import CacheLine
+
+__all__ = ["ReplacementPolicy"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses victims and maintains per-line recency state.
+
+    Subclasses must be stateless with respect to sets (all per-line state
+    lives on the :class:`~repro.cache.line.CacheLine` itself) so that one
+    policy instance can serve an entire cache.
+    """
+
+    #: Short identifier used in reports (e.g. ``"lru"``, ``"srrip"``).
+    name: str = "base"
+
+    @abstractmethod
+    def on_fill(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
+        """Initialise recency state of ``ways[way]`` after a fill."""
+
+    @abstractmethod
+    def on_hit(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
+        """Update recency state of ``ways[way]`` after a hit."""
+
+    @abstractmethod
+    def select_victim(self, ways: Sequence[CacheLine], now: int) -> int:
+        """Return the way index to evict.
+
+        Called only when every way is valid; an invalid way is always
+        filled first by the cache itself.
+        """
+
+    def invalid_way(self, ways: Sequence[CacheLine]) -> int:
+        """Return the index of an invalid way, or ``-1`` if the set is full."""
+        for i, line in enumerate(ways):
+            if not line.valid:
+                return i
+        return -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+def validate_full(ways: Sequence[CacheLine]) -> None:
+    """Debug helper: assert that every way is valid (victim precondition)."""
+    for line in ways:
+        if not line.valid:
+            raise AssertionError("select_victim called with an invalid way present")

@@ -1,0 +1,72 @@
+"""Classic recency-stamp replacement policies: LRU, MRU and FIFO.
+
+LRU is the paper's baseline (BS) L1 replacement policy.  The stamp-based
+implementation is O(ways) per victim selection, which is exact and cheap
+at GPU associativities (4–16 ways).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement.base import ReplacementPolicy
+
+__all__ = ["LRUPolicy", "MRUPolicy", "FIFOPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement.
+
+    Each line carries a monotonically increasing access stamp; the victim
+    is the line with the smallest stamp.
+    """
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._tick = 0
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def on_fill(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
+        ways[way].stamp = self._next_tick()
+
+    def on_hit(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
+        ways[way].stamp = self._next_tick()
+
+    def select_victim(self, ways: Sequence[CacheLine], now: int) -> int:
+        victim = 0
+        best = ways[0].stamp
+        for i in range(1, len(ways)):
+            if ways[i].stamp < best:
+                best = ways[i].stamp
+                victim = i
+        return victim
+
+
+class MRUPolicy(LRUPolicy):
+    """Most-recently-used replacement (anti-LRU; useful for thrashing tests)."""
+
+    name = "mru"
+
+    def select_victim(self, ways: Sequence[CacheLine], now: int) -> int:
+        victim = 0
+        best = ways[0].stamp
+        for i in range(1, len(ways)):
+            if ways[i].stamp > best:
+                best = ways[i].stamp
+                victim = i
+        return victim
+
+
+class FIFOPolicy(LRUPolicy):
+    """First-in-first-out replacement: stamp is set on fill only."""
+
+    name = "fifo"
+
+    def on_hit(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
+        # FIFO ignores hits: eviction order is fill order.
+        pass

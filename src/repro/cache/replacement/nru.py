@@ -1,0 +1,29 @@
+"""Not-recently-used (NRU) replacement.
+
+NRU is the 1-bit ancestor of RRIP (RRIP with ``bits=1`` degenerates to
+NRU); real GPUs often ship NRU-like pseudo-LRU in the L1.  Included both
+as a baseline and to exercise the degenerate end of the RRIP family.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement.rrip import SRRIPPolicy
+
+__all__ = ["NRUPolicy"]
+
+
+class NRUPolicy(SRRIPPolicy):
+    """NRU expressed as 1-bit RRIP.
+
+    The "referenced" bit is ``rrpv == 0``; a victim is any line with the
+    bit clear, and when all lines are referenced every bit is cleared
+    (which is exactly the RRIP aging loop at 1 bit).
+    """
+
+    name = "nru"
+
+    def __init__(self) -> None:
+        super().__init__(bits=1, insertion_rrpv=0)

@@ -1,0 +1,33 @@
+"""Uniform-random replacement (seeded, deterministic)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement.base import ReplacementPolicy
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way.
+
+    Random replacement is a common GPU L1 design point (it needs no
+    recency state at all) and a useful control in policy studies.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def on_fill(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
+        pass
+
+    def on_hit(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
+        pass
+
+    def select_victim(self, ways: Sequence[CacheLine], now: int) -> int:
+        return self._rng.randrange(len(ways))

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run`` — simulate one benchmark under one design and print a report.
+* ``compare`` — run several designs on one benchmark side by side.
+* ``list`` — enumerate benchmarks and designs.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --benchmark SPMV --design gc --scale 0.5
+    python -m repro compare --benchmark SSC --designs bs,bs-s,gc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import sweep_optimal_pd
+from repro.sim.config import GPUConfig
+from repro.sim.designs import DESIGN_KEYS, make_design
+from repro.sim.simulator import simulate
+from repro.stats.energy import EnergyModel
+from repro.stats.report import Table
+from repro.trace.suite import ALL_BENCHMARKS, build_benchmark, sensitivity_of
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", required=True,
+                        type=lambda s: s.upper(), choices=ALL_BENCHMARKS)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--l1-size", type=int, default=32 * 1024,
+                        help="L1 capacity in bytes (Table 2: 32768)")
+    parser.add_argument("--scheduler", default="lrr",
+                        choices=["lrr", "gto", "two-level", "throttle"])
+
+
+def _config(args: argparse.Namespace) -> GPUConfig:
+    return GPUConfig(l1_size=args.l1_size, warp_scheduler=args.scheduler)
+
+
+def _design(key: str, trace, config):
+    if key == "spdp-b":
+        return make_design("spdp-b", pd=sweep_optimal_pd(trace, config))
+    return make_design(key)
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    table = Table(["benchmark", "class", "suite"], title="Table-1 benchmarks")
+    for name in ALL_BENCHMARKS:
+        trace_cls = __import__("repro.trace.suite", fromlist=["GENERATORS"]).GENERATORS[name]
+        table.row([name, sensitivity_of(name), trace_cls.suite])
+    print(table.render())
+    print()
+    print("designs:", ", ".join(DESIGN_KEYS))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config(args)
+    trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    design = _design(args.design, trace, config)
+    result = simulate(trace, config, design)
+    energy = EnergyModel().evaluate(result)
+
+    print(f"{trace.name} on {config.describe()} under {design.label}")
+    table = Table(["metric", "value"])
+    table.row(["IPC", f"{result.ipc:.3f}"])
+    table.row(["cycles", f"{result.cycles:,}"])
+    table.row(["instructions", f"{result.instructions:,}"])
+    table.row(["L1 miss rate", f"{result.l1.miss_rate:.1%}"])
+    table.row(["L1 bypass ratio", f"{result.l1.bypass_ratio:.1%}"])
+    table.row(["L2 miss rate", f"{result.l2.miss_rate:.1%}"])
+    table.row(["avg load latency", f"{result.avg_load_latency:.0f} cycles"])
+    table.row(["DRAM requests", f"{result.dram_requests:,}"])
+    table.row(["DRAM row-hit rate", f"{result.dram_row_hit_rate:.1%}"])
+    table.row(["energy / instruction", f"{energy.pj_per_instruction:.0f} pJ"])
+    print(table.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _config(args)
+    trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    keys = [k.strip() for k in args.designs.split(",") if k.strip()]
+    unknown = [k for k in keys if k not in DESIGN_KEYS]
+    if unknown:
+        print(f"unknown designs: {unknown}; known: {DESIGN_KEYS}", file=sys.stderr)
+        return 2
+
+    results = {}
+    for key in keys:
+        results[key] = simulate(trace, config, _design(key, trace, config))
+    base = results.get("bs") or results[keys[0]]
+
+    table = Table(
+        ["design", "IPC", "speedup", "L1 miss", "bypass", "rel. energy"],
+        title=f"{trace.name}: design comparison",
+    )
+    model = EnergyModel()
+    base_energy = model.evaluate(base)
+    for key in keys:
+        r = results[key]
+        table.row([
+            key.upper(),
+            f"{r.ipc:.3f}",
+            f"{r.speedup_over(base):.3f}",
+            f"{r.l1.miss_rate:.1%}",
+            f"{r.l1.bypass_ratio:.1%}",
+            f"{model.evaluate(r).relative_to(base_energy):.3f}",
+        ])
+    print(table.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="G-Cache reproduction: GPU cache-management simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and designs")
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark/design")
+    _add_common(run_parser)
+    run_parser.add_argument("--design", default="gc", choices=DESIGN_KEYS)
+
+    cmp_parser = sub.add_parser("compare", help="compare designs on one benchmark")
+    _add_common(cmp_parser)
+    cmp_parser.add_argument("--designs", default="bs,bs-s,gc")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_compare(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

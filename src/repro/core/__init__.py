@@ -1,0 +1,22 @@
+"""G-Cache: the paper's primary contribution.
+
+This package contains the adaptive bypass/insertion policy for L1 data
+caches (:class:`~repro.core.gcache.GCachePolicy`), the per-set bypass
+switches (:class:`~repro.core.bypass_switch.BypassSwitchArray`) and the
+L2 victim-bit directory
+(:class:`~repro.core.victim_bits.VictimBitDirectory`).
+"""
+
+from repro.core.bypass_switch import BypassSwitchArray
+from repro.core.gcache import GCacheConfig, GCachePolicy
+from repro.core.overhead import gcache_overhead, overhead_table
+from repro.core.victim_bits import VictimBitDirectory
+
+__all__ = [
+    "BypassSwitchArray",
+    "GCacheConfig",
+    "GCachePolicy",
+    "VictimBitDirectory",
+    "gcache_overhead",
+    "overhead_table",
+]

@@ -1,0 +1,75 @@
+"""Per-set L1 bypass switches (paper Section 4.1, Figure 5).
+
+Each L1 cache set carries one bit controlling whether fills into that set
+may be bypassed.  The switch is turned on when a fill response arrives
+with its victim hint set (the L2 detected contention for that line), and
+all switches are shut down periodically to bound the side effects of
+bypassing (Section 4.2: "the bypass switch can be shut down periodically
+to reduce side effect of bypassing").
+
+The shutdown period is measured in L1 accesses, driven by the owning
+policy's access hooks, so the mechanism needs no global clock.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["BypassSwitchArray"]
+
+
+class BypassSwitchArray:
+    """One bypass bit per cache set with periodic global shutdown.
+
+    Args:
+        num_sets: Number of L1 sets.
+        shutdown_interval: Number of :meth:`tick` calls (L1 accesses)
+            between global resets; ``0`` disables periodic shutdown.
+    """
+
+    def __init__(self, num_sets: int, shutdown_interval: int = 8192) -> None:
+        if num_sets < 1:
+            raise ValueError(f"need at least one set, got {num_sets}")
+        if shutdown_interval < 0:
+            raise ValueError(
+                f"shutdown_interval must be >= 0, got {shutdown_interval}"
+            )
+        self.num_sets = num_sets
+        self.shutdown_interval = shutdown_interval
+        self._switches: List[bool] = [False] * num_sets
+        self._ticks = 0
+        self.activations = 0
+        self.shutdowns = 0
+
+    def is_on(self, set_index: int) -> bool:
+        return self._switches[set_index]
+
+    def turn_on(self, set_index: int) -> None:
+        if not self._switches[set_index]:
+            self._switches[set_index] = True
+            self.activations += 1
+
+    def turn_off(self, set_index: int) -> None:
+        self._switches[set_index] = False
+
+    def tick(self) -> None:
+        """Advance the access clock; reset all switches on period expiry."""
+        if self.shutdown_interval == 0:
+            return
+        self._ticks += 1
+        if self._ticks >= self.shutdown_interval:
+            self._ticks = 0
+            self.reset_all()
+            self.shutdowns += 1
+
+    def reset_all(self) -> None:
+        for i in range(self.num_sets):
+            self._switches[i] = False
+
+    @property
+    def fraction_on(self) -> float:
+        """Fraction of sets currently in bypass mode (diagnostics)."""
+        return sum(self._switches) / self.num_sets
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BypassSwitchArray {sum(self._switches)}/{self.num_sets} on>"

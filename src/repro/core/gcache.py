@@ -1,0 +1,267 @@
+"""G-Cache: the paper's adaptive bypass and insertion policy (Section 4).
+
+:class:`GCachePolicy` is the management policy installed in each **L1**
+data cache.  It requires an RRIP-family replacement policy (hotness is
+judged by RRPV) and consumes the victim hints produced by the L2-side
+:class:`~repro.core.victim_bits.VictimBitDirectory`.
+
+Decision flow on a fill response (Section 4.2, Figure 7):
+
+1. If the response's victim hint is set, the L2 detected contention for
+   this line — turn on the target set's bypass switch.
+2. If the switch is on and *every* resident line in the set is hot
+   (``rrpv < TH_hot``), bypass the fill.  A hint-carrying (reused) block
+   uses a *lower* threshold, making it easier for it to find a non-hot
+   victim and be inserted.
+3. On every bypass (or every ``M``-th with the adaptive-aging extension)
+   the RRPVs of all resident lines are incremented, so repeatedly
+   bypassed blocks eventually win a slot.
+4. Insertion treats hot and cold blocks differently: a hint-carrying
+   block inserts near-MRU (RRPV 0); a cold block inserts at the distant
+   SRRIP position so streaming data leaves quickly.
+
+The ``M``-th-bypass counter is the extension sketched in Section 5.1 for
+very large reuse distances (KMN, NW): ``M`` starts at 1 and is adapted at
+runtime from the contention feedback collected via victim hints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.cache.policies.base import (
+    FillContext,
+    FillDecision,
+    ManagementPolicy,
+)
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.core.bypass_switch import BypassSwitchArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.cache import Cache
+
+__all__ = ["GCachePolicy", "GCacheConfig"]
+
+
+class GCacheConfig:
+    """Tunables for the G-Cache L1 policy.
+
+    Attributes:
+        th_hot: RRPV threshold below which a resident line counts as hot
+            when the incoming block carries *no* victim hint.  ``None``
+            (default) resolves to the replacement policy's max RRPV at
+            attach time: a line is hot unless it is already an eviction
+            candidate.  This permissive default is what produces the
+            paper's 30-56 % bypass ratios — with a strict threshold the
+            one in-flight streaming line per set defeats the all-hot test
+            and bypass almost never engages.
+        th_hot_victim: Lower threshold used when the incoming block's
+            victim hint is set ("TH_hot will be lower to make it easier
+            to replace one of the existing lines").  ``None`` (default)
+            resolves to ``th_hot - 1``: a reused block may replace a line
+            that is *nearly* an eviction candidate, but recently-touched
+            protected lines stay put — a too-permissive victim threshold
+            lets homeless hot blocks evict each other in a musical-chairs
+            churn that destroys the very protection bypassing buys.
+        hot_insert_rrpv: Insertion RRPV for hint-carrying (hot) blocks.
+        cold_insert_rrpv: Insertion RRPV for cold blocks; ``None`` means
+            the replacement policy's default (SRRIP long: max-1).
+        shutdown_interval: L1 accesses between periodic bypass-switch
+            shutdowns (0 disables).
+        adaptive_aging: Enable the M-th-bypass aging extension.
+        initial_m: Starting value of ``M`` (paper: 1).
+        max_m: Upper bound for adapted ``M``.
+        aging_epoch: Fills between ``M`` adaptation steps.
+    """
+
+    def __init__(
+        self,
+        th_hot: Optional[int] = None,
+        th_hot_victim: Optional[int] = None,
+        hot_insert_rrpv: int = 0,
+        cold_insert_rrpv: Optional[int] = None,
+        shutdown_interval: int = 8192,
+        adaptive_aging: bool = False,
+        initial_m: int = 1,
+        max_m: int = 64,
+        aging_epoch: int = 512,
+    ) -> None:
+        if th_hot is not None and th_hot < 1:
+            raise ValueError(f"th_hot must be >= 1, got {th_hot}")
+        if th_hot_victim is not None and th_hot_victim < 0:
+            raise ValueError(f"th_hot_victim must be >= 0, got {th_hot_victim}")
+        if initial_m < 1 or max_m < initial_m:
+            raise ValueError(f"need 1 <= initial_m <= max_m, got {initial_m}, {max_m}")
+        self.th_hot = th_hot
+        self.th_hot_victim = th_hot_victim
+        self.hot_insert_rrpv = hot_insert_rrpv
+        self.cold_insert_rrpv = cold_insert_rrpv
+        self.shutdown_interval = shutdown_interval
+        self.adaptive_aging = adaptive_aging
+        self.initial_m = initial_m
+        self.max_m = max_m
+        self.aging_epoch = aging_epoch
+
+
+class GCachePolicy(ManagementPolicy):
+    """Adaptive bypass + insertion for the GPU L1 (the paper's G-Cache)."""
+
+    name = "gcache"
+
+    def __init__(self, config: Optional[GCacheConfig] = None) -> None:
+        self.config = config if config is not None else GCacheConfig()
+        self._cache: Optional["Cache"] = None
+        self._rrip: Optional[SRRIPPolicy] = None
+        #: Thresholds resolved against the RRIP width at attach time.
+        self.th_hot = 0
+        self.th_hot_victim = 0
+        self.switches: Optional[BypassSwitchArray] = None
+        self._bypass_counters: List[int] = []
+        self.m = self.config.initial_m
+        # Adaptation bookkeeping.
+        self._epoch_fills = 0
+        self._epoch_hints = 0
+        self._epoch_bypasses = 0
+        # Diagnostics.
+        self.hint_fills = 0
+        self.total_fills = 0
+        self.agings = 0
+        self.m_history: List[int] = [self.m]
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, cache: "Cache") -> None:
+        if not isinstance(cache.replacement, SRRIPPolicy):
+            raise TypeError(
+                "G-Cache requires an RRIP-family replacement policy in the L1 "
+                f"(got {type(cache.replacement).__name__}); hotness is judged "
+                "by RRPV"
+            )
+        max_rrpv = cache.replacement.max_rrpv
+        th_hot = self.config.th_hot if self.config.th_hot is not None else max_rrpv
+        if th_hot > max_rrpv:
+            raise ValueError(
+                f"th_hot={th_hot} exceeds the replacement policy's "
+                f"max RRPV {max_rrpv}"
+            )
+        th_victim = (
+            min(self.config.th_hot_victim, th_hot)
+            if self.config.th_hot_victim is not None
+            else max(1, th_hot - 1)
+        )
+        self.th_hot = th_hot
+        self.th_hot_victim = th_victim
+        self._cache = cache
+        self._rrip = cache.replacement
+        self.switches = BypassSwitchArray(
+            cache.num_sets, shutdown_interval=self.config.shutdown_interval
+        )
+        self._bypass_counters = [0] * cache.num_sets
+
+    # ------------------------------------------------------------------
+    # Access hooks
+    # ------------------------------------------------------------------
+    def on_hit(self, cache: "Cache", set_index: int, way: int, now: int) -> None:
+        assert self.switches is not None
+        self.switches.tick()
+
+    def on_miss(self, cache: "Cache", set_index: int, now: int) -> None:
+        assert self.switches is not None
+        self.switches.tick()
+
+    # ------------------------------------------------------------------
+    # Fill path
+    # ------------------------------------------------------------------
+    def _all_hot(self, cache: "Cache", set_index: int, threshold: int) -> bool:
+        """True when the set is full and every line's RRPV < threshold."""
+        for line in cache.sets[set_index]:
+            if not line.valid:
+                return False
+            if line.rrpv >= threshold:
+                return False
+        return True
+
+    def fill_decision(
+        self, cache: "Cache", set_index: int, ctx: FillContext, now: int
+    ) -> FillDecision:
+        assert self.switches is not None
+        self.total_fills += 1
+        self._epoch_fills += 1
+        if ctx.victim_hint:
+            self.hint_fills += 1
+            self._epoch_hints += 1
+            self.switches.turn_on(set_index)
+        self._maybe_adapt_m()
+
+        if not self.switches.is_on(set_index):
+            return FillDecision.INSERT
+
+        threshold = self.th_hot_victim if ctx.victim_hint else self.th_hot
+        if self._all_hot(cache, set_index, threshold):
+            return FillDecision.BYPASS
+        return FillDecision.INSERT
+
+    def on_bypass(
+        self, cache: "Cache", set_index: int, ctx: FillContext, now: int
+    ) -> None:
+        """Age the set so a persistently bypassed block can eventually enter.
+
+        With adaptive aging, RRPVs are incremented only on every M-th
+        bypass to the set, preserving protection across very large reuse
+        distances.
+        """
+        assert self._rrip is not None
+        self._epoch_bypasses += 1
+        self._bypass_counters[set_index] += 1
+        if self._bypass_counters[set_index] < self.m:
+            return
+        self._bypass_counters[set_index] = 0
+        max_rrpv = self._rrip.max_rrpv
+        for line in cache.sets[set_index]:
+            if line.valid and line.rrpv < max_rrpv:
+                line.rrpv += 1
+        self.agings += 1
+
+    def on_insert(
+        self, cache: "Cache", set_index: int, way: int, ctx: FillContext, now: int
+    ) -> None:
+        assert self._rrip is not None
+        line = cache.sets[set_index][way]
+        if ctx.victim_hint:
+            # The block demonstrated reuse (and lost it to contention):
+            # insert near-MRU so it is protected.
+            line.rrpv = self.config.hot_insert_rrpv
+        elif self.config.cold_insert_rrpv is not None:
+            line.rrpv = self.config.cold_insert_rrpv
+        # Otherwise keep the replacement policy's default insertion
+        # (SRRIP long re-reference: max-1).
+
+    # ------------------------------------------------------------------
+    # M-th bypass adaptation (Section 5.1 extension)
+    # ------------------------------------------------------------------
+    def _maybe_adapt_m(self) -> None:
+        """Adapt M from L2 contention feedback once per epoch.
+
+        Heuristic: when contention hints remain frequent *while* bypassing
+        is already heavy, aging on every bypass is evicting hot lines
+        before their (large) reuse distance elapses — slow aging down by
+        doubling M.  When hints subside, relax M back toward 1.
+        """
+        if not self.config.adaptive_aging:
+            return
+        if self._epoch_fills < self.config.aging_epoch:
+            return
+        hint_rate = self._epoch_hints / self._epoch_fills
+        bypass_rate = self._epoch_bypasses / self._epoch_fills
+        if hint_rate > 0.25 and bypass_rate > 0.25:
+            self.m = min(self.config.max_m, self.m * 2)
+        else:
+            self.m = max(1, self.m // 2)
+        self.m_history.append(self.m)
+        self._epoch_fills = 0
+        self._epoch_hints = 0
+        self._epoch_bypasses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GCachePolicy th_hot={self.th_hot}/{self.th_hot_victim} M={self.m}>"

@@ -1,0 +1,116 @@
+"""Hardware cost accounting (paper Section 4.3).
+
+Computes the storage overhead of G-Cache and of the alternatives the
+paper compares against, so the cost-effectiveness argument can be
+reproduced numerically:
+
+* **G-Cache**: victim bits in the L2 tag array, ``O_v = (P / S_v) x N x
+  M`` bits, plus one bypass-switch bit per L1 set — for the paper's
+  configuration (16 cores, 512-set 16-way L2) exactly the 16 KB the
+  paper quotes.
+* **CCWS** (Rogers et al.): a victim tag array per L1 ("lost locality
+  detector") — per-entry tags at L1-set granularity.
+* **PDP**: per-line PD counters, per-set sampler FIFOs and the RDD
+  counter array (the paper: "no sampling logic, dedicated pipeline or
+  hash table is required" for G-Cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.stats.report import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- sim)
+    from repro.sim.config import GPUConfig
+
+__all__ = ["OverheadReport", "gcache_overhead", "ccws_overhead", "pdp_overhead", "overhead_table"]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Storage cost of one mechanism, in bits."""
+
+    name: str
+    bits: int
+    description: str
+
+    @property
+    def kib(self) -> float:
+        return self.bits / 8 / 1024
+
+
+def gcache_overhead(config: "GPUConfig", share_factor: int = 1) -> OverheadReport:
+    """Victim bits in the L2 + per-set bypass switches in the L1s."""
+    p = config.num_cores
+    if share_factor < 1 or p % share_factor:
+        raise ValueError(f"share factor {share_factor} must divide {p}")
+    l2_sets_total = config.l2_bank_sets * config.num_partitions
+    victim_bits = (p // share_factor) * l2_sets_total * config.l2_ways
+    switch_bits = p * config.l1_sets
+    return OverheadReport(
+        name=f"G-Cache (Sv={share_factor})",
+        bits=victim_bits + switch_bits,
+        description=(
+            f"{p // share_factor} victim bits x {l2_sets_total} sets x "
+            f"{config.l2_ways} ways + {config.l1_sets} switch bits x {p} L1s"
+        ),
+    )
+
+
+def ccws_overhead(
+    config: "GPUConfig", vta_entries_per_l1: int = 512, tag_bits: int = 24
+) -> OverheadReport:
+    """CCWS's per-L1 victim tag array plus per-warp locality counters."""
+    vta = config.num_cores * vta_entries_per_l1 * tag_bits
+    counters = config.num_cores * config.max_warps_per_core * 16
+    return OverheadReport(
+        name="CCWS victim tag array",
+        bits=vta + counters,
+        description=(
+            f"{vta_entries_per_l1} tags x {tag_bits}b per L1 + "
+            f"{config.max_warps_per_core} 16b locality counters per core"
+        ),
+    )
+
+
+def pdp_overhead(
+    config: "GPUConfig",
+    counter_bits: int = 3,
+    fifos_per_set: int = 32,
+    fifo_tag_bits: int = 16,
+    rdd_counters: int = 256,
+    rdd_counter_bits: int = 16,
+) -> OverheadReport:
+    """Dynamic PDP: per-line PDCs + sampler FIFOs + RDD counter array."""
+    p = config.num_cores
+    pdc = p * config.l1_sets * config.l1_ways * counter_bits
+    fifos = p * config.l1_sets * fifos_per_set * fifo_tag_bits
+    rdd = p * rdd_counters * rdd_counter_bits
+    return OverheadReport(
+        name=f"Dynamic PDP ({counter_bits}-bit)",
+        bits=pdc + fifos + rdd,
+        description=(
+            f"PDCs + {fifos_per_set}-deep per-set FIFOs + "
+            f"{rdd_counters} RDD counters per core"
+        ),
+    )
+
+
+def overhead_table(config: "GPUConfig") -> Table:
+    """Side-by-side storage comparison (the Section 4.3 argument)."""
+    table = Table(
+        ["mechanism", "storage", "detail"],
+        title=f"Hardware storage overhead ({config.describe()})",
+    )
+    for report in (
+        gcache_overhead(config, 1),
+        gcache_overhead(config, 4),
+        gcache_overhead(config, config.num_cores),
+        ccws_overhead(config),
+        pdp_overhead(config, 3),
+        pdp_overhead(config, 8),
+    ):
+        table.row([report.name, f"{report.kib:.1f} KiB", report.description])
+    return table

@@ -1,0 +1,7 @@
+"""GDDR5 DRAM model: timing, banks, FR-FCFS-style controllers."""
+
+from repro.dram.bank import DRAMBank
+from repro.dram.controller import MemoryController
+from repro.dram.timing import GDDR5Timing
+
+__all__ = ["DRAMBank", "MemoryController", "GDDR5Timing"]

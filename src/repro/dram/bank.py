@@ -1,0 +1,101 @@
+"""DRAM bank: row-buffer state machine with GDDR5 timing.
+
+The simulator computes request completion times at issue, in arrival
+order, so it cannot literally reorder commands the way an FR-FCFS
+scheduler does.  To recover the first-ready effect — requests to the
+currently open row overtake row conflicts — each bank keeps a small LRU
+*row window* of recently open rows and charges row-hit timing for any
+request falling in the window.  A window of ``row_window`` rows
+approximates an FR-FCFS queue deep enough to batch that many row
+streams; ``row_window=1`` degenerates to strict open-page arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.dram.timing import GDDR5Timing
+
+__all__ = ["DRAMBank"]
+
+
+class DRAMBank:
+    """One DRAM bank with FR-FCFS-approximating open-row tracking."""
+
+    __slots__ = (
+        "timing",
+        "row_window",
+        "_open_rows",
+        "ready_time",
+        "last_activate",
+        "row_hits",
+        "row_misses",
+    )
+
+    def __init__(self, timing: GDDR5Timing, row_window: int = 4) -> None:
+        if row_window < 1:
+            raise ValueError(f"row_window must be >= 1, got {row_window}")
+        self.timing = timing
+        self.row_window = row_window
+        self._open_rows: "OrderedDict[int, None]" = OrderedDict()
+        self.ready_time = 0
+        self.last_activate = -(10**9)
+        self.row_hits = 0
+        self.row_misses = 0
+
+    @property
+    def open_row(self) -> int:
+        """Most recently activated row (-1 if none)."""
+        if not self._open_rows:
+            return -1
+        return next(reversed(self._open_rows))
+
+    def _touch_row(self, row: int) -> None:
+        self._open_rows[row] = None
+        self._open_rows.move_to_end(row)
+        while len(self._open_rows) > self.row_window:
+            self._open_rows.popitem(last=False)
+
+    def service(self, arrival: int, row: int, rrd_gate: int = 0) -> int:
+        """Serve a column access to ``row`` arriving at ``arrival``.
+
+        Args:
+            arrival: Time the request reaches the bank.
+            row: Target row index.
+            rrd_gate: Earliest time an activate may issue (tRRD coupling
+                across banks, supplied by the controller).
+
+        Returns:
+            The time the first data beat is available on the bank's pins
+            (the controller adds data-bus serialization).
+        """
+        t = self.timing
+        start = max(arrival, self.ready_time)
+        if row in self._open_rows:
+            self.row_hits += 1
+            data_at = start + t.row_hit_latency
+            self.ready_time = start + t.burst_cycles
+        else:
+            self.row_misses += 1
+            # Close a row (tRP) and activate the new one, honouring the
+            # same-bank row-cycle time tRC and the cross-bank tRRD gate.
+            activate_at = max(
+                start + t.tRP,
+                self.last_activate + t.tRC,
+                rrd_gate,
+            )
+            self.last_activate = activate_at
+            data_at = activate_at + t.tRCD + t.tCL
+            # The bank cannot take another column command before the burst
+            # completes, nor precharge before tRAS from activate.
+            self.ready_time = max(activate_at + t.tRAS, data_at + t.burst_cycles)
+        self._touch_row(row)
+        return data_at
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DRAMBank rows={list(self._open_rows)} ready={self.ready_time}>"

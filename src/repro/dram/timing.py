@@ -1,0 +1,57 @@
+"""GDDR5 timing parameters (paper Table 2).
+
+All values are in DRAM command-clock cycles at 1.4 GHz, which matches the
+core clock in the modelled configuration, so no domain conversion is
+needed (the L2's 700 MHz domain is handled separately by doubling L2
+service latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GDDR5Timing"]
+
+
+@dataclass(frozen=True)
+class GDDR5Timing:
+    """GDDR5 timing constraints.
+
+    Attributes:
+        tCL: CAS latency — column read command to first data.
+        tRP: Row precharge time.
+        tRC: Activate-to-activate delay, same bank (row cycle).
+        tRAS: Activate-to-precharge minimum.
+        tRCD: Activate (RAS) to column command (CAS) delay.
+        tRRD: Activate-to-activate delay across banks of one device.
+        burst_cycles: Data-bus cycles to transfer one 128 B line.
+        row_size: Row-buffer (page) size in bytes.
+    """
+
+    tCL: int = 12
+    tRP: int = 12
+    tRC: int = 40
+    tRAS: int = 28
+    tRCD: int = 12
+    tRRD: int = 6
+    burst_cycles: int = 4
+    row_size: int = 2048
+
+    def __post_init__(self) -> None:
+        for field_name in ("tCL", "tRP", "tRC", "tRAS", "tRCD", "tRRD", "burst_cycles"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} cannot be negative")
+        if self.row_size <= 0 or self.row_size & (self.row_size - 1):
+            raise ValueError(f"row_size must be a positive power of two, got {self.row_size}")
+        if self.tRC < self.tRAS:
+            raise ValueError(f"tRC ({self.tRC}) must be >= tRAS ({self.tRAS})")
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Command-to-data latency when the row buffer must be cycled."""
+        return self.tRP + self.tRCD + self.tCL
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Command-to-data latency when the open row is hit."""
+        return self.tCL

@@ -1,0 +1,44 @@
+"""Paper-figure experiment harnesses.
+
+One module per figure/table of the paper's evaluation (see DESIGN.md's
+per-experiment index), plus ablations.  ``python -m repro.experiments``
+regenerates everything.
+"""
+
+from repro.experiments.common import EvalSuite, sweep_optimal_pd
+from repro.experiments.energy_table import energy_ratios, render_energy_table
+from repro.experiments.fig2_reuse import fig2_reuse_distribution, render_fig2
+from repro.experiments.fig34_size_sensitivity import (
+    size_sensitivity,
+    render_fig3,
+    render_fig4,
+)
+from repro.experiments.fig8_speedup import fig8_speedups, render_fig8
+from repro.experiments.fig9_missrate import fig9_miss_rates, render_fig9
+from repro.experiments.fig10_64kb import (
+    fig10_speedups,
+    make_64kb_suite,
+    render_fig10,
+)
+from repro.experiments.table3_bypass import table3_rows, render_table3
+
+__all__ = [
+    "EvalSuite",
+    "sweep_optimal_pd",
+    "fig2_reuse_distribution",
+    "render_fig2",
+    "size_sensitivity",
+    "render_fig3",
+    "render_fig4",
+    "fig8_speedups",
+    "render_fig8",
+    "fig9_miss_rates",
+    "render_fig9",
+    "fig10_speedups",
+    "make_64kb_suite",
+    "render_fig10",
+    "table3_rows",
+    "render_table3",
+    "energy_ratios",
+    "render_energy_table",
+]

@@ -1,0 +1,82 @@
+"""Regenerate every paper figure/table: ``python -m repro.experiments``.
+
+Options:
+    --scale S      trace scale factor (default 1.0; 0.25 for a quick pass)
+    --seed N       trace seed (default 0)
+    --only NAMES   comma-separated experiment subset, e.g. "fig8,table3"
+    --benchmarks B comma-separated benchmark subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import EvalSuite
+from repro.experiments.fig2_reuse import fig2_reuse_distribution, render_fig2
+from repro.experiments.fig34_size_sensitivity import (
+    render_fig3,
+    render_fig4,
+    size_sensitivity,
+)
+from repro.experiments.fig8_speedup import render_fig8
+from repro.experiments.fig9_missrate import render_fig9
+from repro.experiments.fig10_64kb import make_64kb_suite, render_fig10
+from repro.experiments.table3_bypass import render_table3
+
+ALL_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig8", "fig9", "table3", "fig10")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures and tables.",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", type=str, default=",".join(ALL_EXPERIMENTS))
+    parser.add_argument("--benchmarks", type=str, default="")
+    args = parser.parse_args(argv)
+
+    wanted = [w.strip() for w in args.only.split(",") if w.strip()]
+    unknown = set(wanted) - set(ALL_EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiments: {sorted(unknown)}")
+    benches = (
+        [b.strip().upper() for b in args.benchmarks.split(",") if b.strip()] or None
+    )
+
+    t0 = time.time()
+    suite = EvalSuite(benchmarks=benches, scale=args.scale, seed=args.seed)
+
+    if "fig2" in wanted:
+        print(render_fig2(fig2_reuse_distribution(benches, scale=args.scale, seed=args.seed)))
+        print()
+    if "fig3" in wanted or "fig4" in wanted:
+        data = size_sensitivity(scale=args.scale, seed=args.seed)
+        if "fig3" in wanted:
+            print(render_fig3(data))
+            print()
+        if "fig4" in wanted:
+            print(render_fig4(data))
+            print()
+    if "fig8" in wanted:
+        print(render_fig8(suite))
+        print()
+    if "fig9" in wanted:
+        print(render_fig9(suite))
+        print()
+    if "table3" in wanted:
+        print(render_table3(suite))
+        print()
+    if "fig10" in wanted:
+        suite64 = make_64kb_suite(benches, scale=args.scale, seed=args.seed)
+        print(render_fig10(suite64))
+        print()
+    print(f"[done in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

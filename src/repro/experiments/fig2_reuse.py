@@ -1,0 +1,56 @@
+"""Figure 2: L1 reuse-count distribution under the baseline.
+
+Shows, per benchmark, the fraction of L1 cache-line generations that were
+reused 0 / 1 / 2 / 3+ times before eviction.  Shape target: a large
+zero-reuse fraction everywhere, with BFS near the top (~80 % in the
+paper) — the motivation for bypassing.
+
+The distribution is a property of the baseline cache contents, so the
+timing-free replay driver is sufficient (and much faster).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.sim.config import GPUConfig
+from repro.sim.designs import make_design
+from repro.sim.replay import replay
+from repro.stats.report import Table, format_pct
+from repro.trace.suite import ALL_BENCHMARKS, build_benchmark
+
+__all__ = ["fig2_reuse_distribution", "render_fig2"]
+
+BUCKET_LABELS = ("0", "1", "2", "3+")
+
+
+def fig2_reuse_distribution(
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Optional[GPUConfig] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark reuse-count buckets for the baseline L1.
+
+    Returns ``{benchmark: {"0": f0, "1": f1, "2": f2, "3+": f3}}``.
+    """
+    if benchmarks is None:
+        benchmarks = list(ALL_BENCHMARKS)
+    if config is None:
+        config = GPUConfig()
+    out: Dict[str, Dict[str, float]] = {}
+    for bench in benchmarks:
+        trace = build_benchmark(bench, scale=scale, seed=seed)
+        result = replay(trace, config, make_design("bs"), include_l2=False)
+        out[bench] = result.l1.reuse.buckets()
+    return out
+
+
+def render_fig2(data: Dict[str, Dict[str, float]]) -> str:
+    table = Table(
+        ["benchmark"] + [f"reuse={b}" for b in BUCKET_LABELS],
+        title="Figure 2: L1 reuse count distribution (baseline)",
+    )
+    for bench, buckets in data.items():
+        table.row([bench] + [format_pct(buckets[b]) for b in BUCKET_LABELS])
+    return table.render()

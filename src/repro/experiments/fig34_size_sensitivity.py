@@ -1,0 +1,78 @@
+"""Figures 3 and 4: L1 cache-size sensitivity of the baseline.
+
+Sweeps the L1 capacity for the cache-sensitive benchmarks and reports
+miss rate (Fig. 3) and IPC speedup relative to the 16 KB point (Fig. 4).
+Shape target: monotone improvement with size — these benchmarks benefit
+from capacity because contention shrinks, which is the paper's evidence
+that their misses are contention, not streaming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import GPUConfig
+from repro.sim.designs import make_design
+from repro.sim.simulator import RunResult, simulate
+from repro.stats.report import Table, format_pct, format_speedup
+from repro.trace.suite import CACHE_SENSITIVE, build_benchmark
+
+__all__ = ["SIZE_SWEEP", "size_sensitivity", "render_fig3", "render_fig4"]
+
+#: L1 capacities swept (bytes): 16 KB to 128 KB, paper-style.
+SIZE_SWEEP: Tuple[int, ...] = (16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024)
+
+
+def size_sensitivity(
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = SIZE_SWEEP,
+    config: Optional[GPUConfig] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, Dict[int, RunResult]]:
+    """Baseline runs per benchmark per L1 size."""
+    if benchmarks is None:
+        benchmarks = list(CACHE_SENSITIVE)
+    if config is None:
+        config = GPUConfig()
+    out: Dict[str, Dict[int, RunResult]] = {}
+    for bench in benchmarks:
+        trace = build_benchmark(bench, scale=scale, seed=seed)
+        out[bench] = {
+            size: simulate(trace, config.with_l1_size(size), make_design("bs"))
+            for size in sizes
+        }
+    return out
+
+
+def _size_label(size: int) -> str:
+    return f"{size >> 10}KB"
+
+
+def render_fig3(
+    data: Dict[str, Dict[int, RunResult]], sizes: Sequence[int] = SIZE_SWEEP
+) -> str:
+    table = Table(
+        ["benchmark"] + [_size_label(s) for s in sizes],
+        title="Figure 3: L1 miss rate vs L1 size (baseline)",
+    )
+    for bench, runs in data.items():
+        table.row([bench] + [format_pct(runs[s].l1.miss_rate) for s in sizes])
+    return table.render()
+
+
+def render_fig4(
+    data: Dict[str, Dict[int, RunResult]], sizes: Sequence[int] = SIZE_SWEEP
+) -> str:
+    table = Table(
+        ["benchmark"] + [_size_label(s) for s in sizes],
+        title="Figure 4: speedup vs L1 size (normalized to the smallest)",
+    )
+    base_size = sizes[0]
+    for bench, runs in data.items():
+        base = runs[base_size]
+        table.row(
+            [bench]
+            + [format_speedup(runs[s].speedup_over(base)) for s in sizes]
+        )
+    return table.render()

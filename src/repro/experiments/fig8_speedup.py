@@ -1,0 +1,70 @@
+"""Figure 8: IPC speedup of every design over the baseline.
+
+Paper headline numbers this experiment targets (shape, not absolutes):
+
+* GC beats BS on every cache-sensitive benchmark (paper: +13.4 % to
+  +51.8 %, +30.9 % gmean) and is competitive with SPDP-B.
+* GC > SPDP-B on SPMV; GC < SPDP-B on KMN and NW.
+* PDP-3 lands close to PDP-8 (paper: +23.8 % vs +26 % on sensitive).
+* BS-S (3-bit SRRIP without bypass) is roughly performance-neutral.
+* Cache-insensitive benchmarks are unaffected by every design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import PAPER_DESIGNS, EvalSuite, group_rows
+from repro.stats.report import Table, format_speedup, geomean
+
+__all__ = ["fig8_speedups", "render_fig8"]
+
+
+def fig8_speedups(
+    suite: EvalSuite,
+    designs: Sequence[str] = PAPER_DESIGNS,
+) -> Dict[str, Dict[str, float]]:
+    """Speedup over BS per benchmark per design.
+
+    Returns ``{benchmark: {design: speedup}}``; group geometric means are
+    added under the pseudo-benchmarks ``GM-sensitive``, ``GM-moderate``,
+    ``GM-insensitive`` and ``GM-all``.
+    """
+    data: Dict[str, Dict[str, float]] = {}
+    for bench in suite.benchmarks:
+        data[bench] = {d: suite.speedup(bench, d) for d in designs}
+
+    def gmean_row(benches: List[str]) -> Dict[str, float]:
+        present = [b for b in benches if b in data]
+        return {d: geomean(data[b][d] for b in present) for d in designs}
+
+    for label, benches in group_rows():
+        key = {
+            "Cache Sensitive": "GM-sensitive",
+            "Moderately Sensitive": "GM-moderate",
+            "Cache Insensitive": "GM-insensitive",
+        }[label]
+        if any(b in data for b in benches):
+            data[key] = gmean_row(benches)
+    data["GM-all"] = gmean_row(list(suite.benchmarks))
+    return data
+
+
+def render_fig8(
+    suite: EvalSuite, designs: Sequence[str] = PAPER_DESIGNS
+) -> str:
+    """Text rendering of Figure 8 (one row per benchmark + gmeans)."""
+    data = fig8_speedups(suite, designs)
+    table = Table(
+        ["benchmark"] + [d.upper() for d in designs],
+        title="Figure 8: IPC speedup over baseline (BS)",
+    )
+    for label, benches in group_rows():
+        for bench in benches:
+            if bench in data and bench in suite.benchmarks:
+                table.row([bench] + [format_speedup(data[bench][d]) for d in designs])
+    table.rule()
+    for key in ("GM-sensitive", "GM-moderate", "GM-insensitive", "GM-all"):
+        if key in data:
+            table.row([key] + [format_speedup(data[key][d]) for d in designs])
+    return table.render()

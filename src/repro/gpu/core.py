@@ -1,0 +1,236 @@
+"""SIMT core model: warp issue, CTA residency, barriers.
+
+Each core issues at most one warp-instruction per cycle from a ready warp
+chosen by its warp scheduler.  Memory instructions are split into line
+transactions by the coalescer and handed to the shared
+:class:`~repro.sim.memory_system.MemorySystem`; the warp then waits for
+the slowest transaction.  ALU/scratchpad groups occupy the issue port for
+their instruction count, which is how multithreading hides memory latency
+in the model: while one warp waits, others burn issue slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.schedulers import make_scheduler
+from repro.gpu.warp import Warp
+from repro.sim.config import GPUConfig
+from repro.sim.memory_system import MemorySystem
+from repro.trace.trace import (
+    CTATrace,
+    OP_ALU,
+    OP_ATOM,
+    OP_BAR,
+    OP_LOAD,
+    OP_SMEM,
+    OP_STORE,
+)
+
+__all__ = ["SIMTCore"]
+
+#: Core is idle with nothing scheduled.
+IDLE = None
+
+
+class SIMTCore:
+    """One SIMT core and its resident CTAs."""
+
+    def __init__(self, core_id: int, config: GPUConfig, memory: MemorySystem) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.memory = memory
+        self.scheduler = make_scheduler(config.warp_scheduler)
+        if hasattr(self.scheduler, "bind_stats"):
+            # Feedback-driven schedulers (CCWS-style throttling) observe
+            # this core's L1 statistics.
+            self.scheduler.bind_stats(memory.l1s[core_id].stats)
+        self.coalescer = Coalescer(config.line_size, config.simt_width)
+
+        self.warps: List[Warp] = []
+        self._cta_remaining: Dict[int, int] = {}
+        self._cta_waiting: Dict[int, int] = {}
+        self._cta_scratchpad: Dict[int, int] = {}
+        self._next_slot = 0
+        self.scratchpad_used = 0
+
+        self.instructions = 0
+        self.finish_time = 0
+        self._age_counter = 0
+        #: Currently scheduled wake time (engine bookkeeping); None = idle.
+        self.wake: Optional[int] = 0
+        #: Set by step()/launch() when a CTA finished this step.
+        self.completed_cta = False
+
+    # ------------------------------------------------------------------
+    # CTA residency
+    # ------------------------------------------------------------------
+    @property
+    def resident_ctas(self) -> int:
+        return len(self._cta_remaining)
+
+    @property
+    def live_warps(self) -> int:
+        return sum(1 for w in self.warps if not w.done)
+
+    def can_accept(self, cta: CTATrace, scratchpad: int) -> bool:
+        """Resource check: CTA slots, warp slots, scratchpad capacity."""
+        cfg = self.config
+        return (
+            self.resident_ctas < cfg.max_ctas_per_core
+            and self.live_warps + cta.num_warps <= cfg.max_warps_per_core
+            and self.scratchpad_used + scratchpad <= cfg.scratchpad_bytes
+        )
+
+    def launch(self, cta: CTATrace, scratchpad: int, now: int) -> None:
+        """Place a CTA onto this core; its warps become ready next cycle."""
+        if not self.can_accept(cta, scratchpad):
+            raise RuntimeError(f"core {self.core_id} cannot accept CTA (resource check)")
+        slot = self._next_slot
+        self._next_slot += 1
+        live = 0
+        for program in cta.warps:
+            warp = Warp(len(self.warps), slot, program, self._age_counter)
+            self._age_counter += 1
+            warp.ready_time = now + 1
+            self.warps.append(warp)
+            self.scheduler.on_warp_added(warp)
+            if not warp.done:
+                live += 1
+        self._cta_remaining[slot] = live
+        self._cta_waiting[slot] = 0
+        self._cta_scratchpad[slot] = scratchpad
+        self.scratchpad_used += scratchpad
+        if live == 0:
+            self._complete_cta(slot)
+
+    def _complete_cta(self, slot: int) -> None:
+        self.scratchpad_used -= self._cta_scratchpad.pop(slot)
+        del self._cta_remaining[slot]
+        del self._cta_waiting[slot]
+        # Prune retired warps so scheduler scans stay short.
+        self.warps = [w for w in self.warps if not w.done]
+        self.completed_cta = True
+
+    # ------------------------------------------------------------------
+    # Barrier handling
+    # ------------------------------------------------------------------
+    def _alive_in_cta(self, slot: int) -> int:
+        return self._cta_remaining.get(slot, 0)
+
+    def _arrive_barrier(self, warp: Warp, now: int) -> None:
+        slot = warp.cta_slot
+        warp.at_barrier = True
+        self._cta_waiting[slot] += 1
+        self._maybe_release_barrier(slot, now)
+
+    def _maybe_release_barrier(self, slot: int, now: int) -> None:
+        if self._cta_waiting.get(slot, 0) >= self._alive_in_cta(slot) > 0:
+            for w in self.warps:
+                if w.cta_slot == slot and w.at_barrier:
+                    w.at_barrier = False
+                    w.ready_time = now + 1
+            self._cta_waiting[slot] = 0
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> Optional[int]:
+        """Issue at most one warp's next instruction (or instruction group).
+
+        Returns the next time this core needs attention, or ``None`` when
+        it is drained (no live warps).
+        """
+        self.completed_cta = False
+        warp = self.scheduler.pick(self.warps, now)
+        if warp is None:
+            pending = [
+                w.ready_time
+                for w in self.warps
+                if not w.done and not w.at_barrier
+            ]
+            if pending:
+                nxt = min(pending)
+                # Guard against scheduler anomalies: never stall in place.
+                return nxt if nxt > now else now + 1
+            return IDLE
+
+        cfg = self.config
+        op, arg = warp.program[warp.pc]
+        next_issue = now + 1
+
+        if op == OP_ALU:
+            count = arg
+            warp.ready_time = now + count + cfg.alu_latency
+            warp.issued += count
+            self.instructions += count
+            next_issue = now + count
+        elif op == OP_SMEM:
+            count = arg
+            warp.ready_time = now + count + cfg.smem_latency
+            warp.issued += count
+            self.instructions += count
+            next_issue = now + count
+        elif op == OP_LOAD:
+            lines = self.coalescer.coalesce(arg)
+            completion = now + 1
+            for line_addr in lines:
+                done = self.memory.load(self.core_id, line_addr, now)
+                if done > completion:
+                    completion = done
+            warp.ready_time = completion
+            warp.issued += 1
+            self.instructions += 1
+        elif op == OP_STORE:
+            lines = self.coalescer.coalesce(arg)
+            for line_addr in lines:
+                self.memory.store(self.core_id, line_addr, now)
+            # Stores retire into write buffers: the warp only waits for the
+            # transactions to leave the core's memory port.
+            warp.ready_time = now + len(lines)
+            warp.issued += 1
+            self.instructions += 1
+        elif op == OP_ATOM:
+            lines = self.coalescer.coalesce(arg)
+            for line_addr in lines:
+                self.memory.atomic(self.core_id, line_addr, now)
+            warp.ready_time = now + len(lines)
+            warp.issued += 1
+            self.instructions += 1
+        elif op == OP_BAR:
+            warp.issued += 1
+            self.instructions += 1
+            warp.ready_time = now + 1
+            if warp.pc + 1 < len(warp.program):
+                self._arrive_barrier(warp, now)
+        else:  # pragma: no cover - traces are validated upstream
+            raise ValueError(f"unknown opcode {op}")
+
+        warp.pc += 1
+        if warp.pc >= len(warp.program):
+            warp.done = True
+            if warp.ready_time > self.finish_time:
+                self.finish_time = warp.ready_time
+            slot = warp.cta_slot
+            self._cta_remaining[slot] -= 1
+            if self._cta_remaining[slot] == 0:
+                self._complete_cta(slot)
+            else:
+                # A finished warp can be the last arrival its siblings
+                # were waiting on.
+                self._maybe_release_barrier(slot, now)
+
+        if now > self.finish_time:
+            self.finish_time = now
+        return next_issue
+
+    def drained(self) -> bool:
+        """No live warps remain on this core."""
+        return self.live_warps == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SIMTCore {self.core_id}: {self.live_warps} warps, "
+            f"{self.resident_ctas} CTAs, {self.instructions} instrs>"
+        )

@@ -1,0 +1,99 @@
+"""Cache-conscious warp throttling (CCWS-style scheduler).
+
+The paper compares against cache-conscious wavefront scheduling (CCWS,
+Rogers et al. MICRO '12), which *reduces multithreading* when warps lose
+locality, and argues G-Cache is complementary: "bypass can also cooperate
+with the scheduler to further improve cache efficiency".
+
+:class:`ThrottleScheduler` is a lightweight CCWS stand-in: it monitors
+the core's recent L1 hit rate (the observable consequence of lost
+locality) and adapts the number of schedulable warps — shrinking the
+active set when the cache is thrashing, growing it back when hits
+recover.  It binds to the core's L1 statistics via :meth:`bind_stats`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.gpu.schedulers import LRRScheduler, WarpScheduler
+from repro.gpu.warp import Warp
+from repro.stats.counters import CacheStats
+
+__all__ = ["ThrottleScheduler"]
+
+
+class ThrottleScheduler(WarpScheduler):
+    """Adaptive warp throttling driven by L1 hit-rate feedback.
+
+    Args:
+        min_active: Floor on schedulable warps (progress guarantee).
+        max_active: Ceiling (the hardware warp count).
+        epoch: Issue slots between adaptation decisions.
+        low_water: Hit rate below which the active set shrinks.
+        high_water: Hit rate above which it grows.
+    """
+
+    name = "throttle"
+
+    def __init__(
+        self,
+        min_active: int = 6,
+        max_active: int = 48,
+        epoch: int = 512,
+        low_water: float = 0.25,
+        high_water: float = 0.45,
+    ) -> None:
+        if not 1 <= min_active <= max_active:
+            raise ValueError(
+                f"need 1 <= min_active <= max_active, got {min_active}, {max_active}"
+            )
+        if not 0.0 <= low_water <= high_water <= 1.0:
+            raise ValueError("need 0 <= low_water <= high_water <= 1")
+        self.min_active = min_active
+        self.max_active = max_active
+        self.epoch = epoch
+        self.low_water = low_water
+        self.high_water = high_water
+        self.active = max_active
+        self._rr = LRRScheduler()
+        self._stats: Optional[CacheStats] = None
+        self._ticks = 0
+        self._last_accesses = 0
+        self._last_hits = 0
+        self.history: List[int] = [self.active]
+
+    def bind_stats(self, stats: CacheStats) -> None:
+        """Attach the core's L1 statistics (called by the SIMT core)."""
+        self._stats = stats
+
+    def _adapt(self) -> None:
+        if self._stats is None:
+            return
+        accesses = self._stats.accesses
+        hits = self._stats.hits
+        window = accesses - self._last_accesses
+        if window < 32:
+            return  # not enough signal this epoch
+        hit_rate = (hits - self._last_hits) / window
+        self._last_accesses = accesses
+        self._last_hits = hits
+        if hit_rate < self.low_water:
+            self.active = max(self.min_active, self.active // 2)
+        elif hit_rate > self.high_water:
+            self.active = min(self.max_active, self.active + 4)
+        self.history.append(self.active)
+
+    def pick(self, warps: List[Warp], now: int):
+        self._ticks += 1
+        if self._ticks >= self.epoch:
+            self._ticks = 0
+            self._adapt()
+        # Only the oldest `active` live warps are schedulable.
+        eligible = [w for w in warps if not w.done][: self.active]
+        choice = self._rr.pick(eligible, now)
+        if choice is None and self.active < len(warps):
+            # Never deadlock behind the throttle: if nothing in the
+            # active set can issue, fall back to the full pool.
+            choice = self._rr.pick(warps, now)
+        return choice

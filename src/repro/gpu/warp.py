@@ -1,0 +1,68 @@
+"""Warp runtime state.
+
+A :class:`Warp` is the schedulable unit: 32 SIMT threads executing one
+instruction stream in lockstep (Section 2.1).  The simulator models a
+warp as a program counter over its trace plus a ready time — a warp
+waiting on outstanding loads (or a barrier) is not eligible for issue,
+which is exactly the latency-hiding mechanism massive multithreading
+relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trace.trace import WarpTrace
+
+__all__ = ["Warp"]
+
+
+class Warp:
+    """One in-flight warp on a SIMT core.
+
+    Attributes:
+        warp_id: Core-local warp slot index.
+        cta_slot: Core-local CTA slot this warp belongs to.
+        program: The warp's instruction stream.
+        pc: Index of the next instruction.
+        ready_time: Earliest cycle the warp may issue again.
+        at_barrier: Parked at a CTA barrier, waiting for siblings.
+        done: Program finished.
+        age: Launch order stamp (GTO's "oldest" tiebreak).
+        issued: Dynamic instructions issued so far (IPC accounting).
+    """
+
+    __slots__ = (
+        "warp_id",
+        "cta_slot",
+        "program",
+        "pc",
+        "ready_time",
+        "at_barrier",
+        "done",
+        "age",
+        "issued",
+    )
+
+    def __init__(self, warp_id: int, cta_slot: int, program: WarpTrace, age: int) -> None:
+        self.warp_id = warp_id
+        self.cta_slot = cta_slot
+        self.program = program
+        self.pc = 0
+        self.ready_time = 0
+        self.at_barrier = False
+        self.done = len(program) == 0
+        self.age = age
+        self.issued = 0
+
+    def ready(self, now: int) -> bool:
+        """Eligible for issue at ``now``."""
+        return not self.done and not self.at_barrier and self.ready_time <= now
+
+    def blocked(self) -> bool:
+        """Alive but not currently issuable (pending memory or barrier)."""
+        return not self.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else ("bar" if self.at_barrier else f"rdy@{self.ready_time}")
+        return f"<Warp {self.warp_id} pc={self.pc}/{len(self.program)} {state}>"

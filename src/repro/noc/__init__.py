@@ -1,0 +1,5 @@
+"""Interconnection network models."""
+
+from repro.noc.mesh import MeshNoC
+
+__all__ = ["MeshNoC"]

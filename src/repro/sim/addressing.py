@@ -1,0 +1,89 @@
+"""Physical address mapping: line -> (memory partition, local address).
+
+GPUs interleave the physical address space across memory partitions at a
+granularity much coarser than one cache line — typically 256 B to 2 KB —
+so that a streaming access sequence dwells inside one DRAM row before
+moving to the next channel.  Interleaving at line granularity (128 B)
+would split every row across all channels and destroy the row-buffer
+locality FR-FCFS depends on.
+
+The map is bijective: ``(partition, local)`` identifies the global line,
+and the *local* address is what both the L2 bank (tag/set) and the DRAM
+controller operate on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AddressMap"]
+
+
+class AddressMap:
+    """Partition interleaving at ``interleave_lines`` granularity.
+
+    Args:
+        num_partitions: Memory partitions (power of two).
+        interleave_lines: Consecutive lines mapped to one partition
+            before moving to the next (power of two).  16 lines = 2 KB,
+            one DRAM row.
+    """
+
+    def __init__(self, num_partitions: int, interleave_lines: int = 16) -> None:
+        if num_partitions < 1 or num_partitions & (num_partitions - 1):
+            raise ValueError(
+                f"partition count must be a power of two, got {num_partitions}"
+            )
+        if interleave_lines < 1 or interleave_lines & (interleave_lines - 1):
+            raise ValueError(
+                f"interleave granularity must be a power of two, got {interleave_lines}"
+            )
+        self.num_partitions = num_partitions
+        self.interleave_lines = interleave_lines
+        self._chunk_shift = interleave_lines.bit_length() - 1
+        self._part_bits = num_partitions.bit_length() - 1
+        self._part_mask = num_partitions - 1
+        self._offset_mask = interleave_lines - 1
+
+    def _hash_hi(self, chunk_hi: int) -> int:
+        """XOR-fold the upper chunk bits into a partition-width value.
+
+        Hashing the partition index with higher address bits prevents
+        *partition camping*: without it, a hot structure smaller than
+        ``num_partitions`` chunks would pin all its traffic on a few
+        partitions (GPUs have used exactly this kind of XOR hash since
+        Fermi for the same reason).
+        """
+        if self._part_bits == 0:
+            return 0
+        h = 0
+        x = chunk_hi
+        while x:
+            h ^= x & self._part_mask
+            x >>= self._part_bits
+        return h
+
+    def partition(self, line_addr: int) -> int:
+        """Memory partition (= L2 bank = MC) holding ``line_addr``."""
+        chunk = line_addr >> self._chunk_shift
+        return (chunk ^ self._hash_hi(chunk >> self._part_bits)) & self._part_mask
+
+    def local(self, line_addr: int) -> int:
+        """Partition-local line address (dense within the partition)."""
+        chunk = line_addr >> (self._chunk_shift + self._part_bits)
+        return (chunk << self._chunk_shift) | (line_addr & self._offset_mask)
+
+    def globalize(self, partition: int, local: int) -> int:
+        """Inverse mapping (diagnostics and tests)."""
+        chunk_hi = local >> self._chunk_shift
+        offset = local & self._offset_mask
+        low = (partition ^ self._hash_hi(chunk_hi)) & self._part_mask
+        return (
+            (chunk_hi << (self._chunk_shift + self._part_bits))
+            | (low << self._chunk_shift)
+            | offset
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<AddressMap {self.num_partitions} partitions x "
+            f"{self.interleave_lines} lines>"
+        )

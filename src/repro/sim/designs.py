@@ -1,0 +1,129 @@
+"""Design registry: the cache-management designs evaluated in the paper.
+
+Each design names the L1 replacement + management policy combination and
+whether the L2 victim-bit directory is active:
+
+========  ===========================================================
+key       description (paper Section 5)
+========  ===========================================================
+bs        Baseline: LRU L1, no bypass.
+bs-s      Baseline with 3-bit SRRIP L1 replacement, no bypass.
+pdp-3     Dynamic PDP, 3-bit protecting-distance counters.
+pdp-8     Dynamic PDP, 8-bit counters.
+spdp-b    Static PDP with bypass at a given (per-benchmark best) PD.
+gc        G-Cache: SRRIP + adaptive bypass/insertion + victim bits.
+gc-m      G-Cache with the adaptive M-th-bypass aging extension.
+========  ===========================================================
+
+A :class:`DesignSpec` is a factory bundle — policies are stateful, so a
+fresh instance pair is built per simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cache.policies.base import ManagementPolicy, NullManagementPolicy
+from repro.cache.policies.dead_block import DeadBlockPolicy
+from repro.cache.policies.pdp import DynamicPDPPolicy, StaticPDPPolicy
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.core.gcache import GCacheConfig, GCachePolicy
+
+__all__ = ["DesignSpec", "make_design", "DESIGN_KEYS"]
+
+DESIGN_KEYS = ("bs", "bs-s", "pdp-3", "pdp-8", "spdp-b", "gc", "gc-m", "dbp")
+
+
+@dataclass
+class DesignSpec:
+    """Factories for one cache-management design."""
+
+    key: str
+    label: str
+    make_l1_replacement: Callable[[], ReplacementPolicy]
+    make_l1_mgmt: Callable[[], ManagementPolicy]
+    uses_victim_bits: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DesignSpec {self.key}>"
+
+
+def make_design(
+    key: str,
+    pd: Optional[int] = None,
+    gcache_config: Optional[GCacheConfig] = None,
+    rrpv_bits: int = 3,
+) -> DesignSpec:
+    """Build the :class:`DesignSpec` for a paper design.
+
+    Args:
+        key: One of :data:`DESIGN_KEYS`.
+        pd: Protecting distance — required for ``spdp-b``.
+        gcache_config: Tunables for the ``gc`` / ``gc-m`` designs.
+        rrpv_bits: RRPV width for SRRIP-based designs (paper: 3).
+    """
+    if key == "bs":
+        return DesignSpec(
+            key="bs",
+            label="Baseline (LRU)",
+            make_l1_replacement=LRUPolicy,
+            make_l1_mgmt=NullManagementPolicy,
+        )
+    if key == "bs-s":
+        return DesignSpec(
+            key="bs-s",
+            label=f"Baseline + {rrpv_bits}-bit SRRIP",
+            make_l1_replacement=lambda: SRRIPPolicy(bits=rrpv_bits),
+            make_l1_mgmt=NullManagementPolicy,
+        )
+    if key in ("pdp-3", "pdp-8"):
+        bits = 3 if key == "pdp-3" else 8
+        return DesignSpec(
+            key=key,
+            label=f"Dynamic PDP ({bits}-bit)",
+            make_l1_replacement=LRUPolicy,
+            make_l1_mgmt=lambda: DynamicPDPPolicy(counter_bits=bits),
+        )
+    if key == "spdp-b":
+        if pd is None:
+            raise ValueError("spdp-b requires a protecting distance (pd=...)")
+        return DesignSpec(
+            key="spdp-b",
+            label=f"Static PDP + bypass (PD={pd})",
+            make_l1_replacement=LRUPolicy,
+            make_l1_mgmt=lambda: StaticPDPPolicy(pd=pd, bypass=True),
+        )
+    if key == "dbp":
+        return DesignSpec(
+            key="dbp",
+            label="Counter-based dead-block bypass",
+            make_l1_replacement=LRUPolicy,
+            make_l1_mgmt=DeadBlockPolicy,
+        )
+    if key in ("gc", "gc-m"):
+        base = gcache_config if gcache_config is not None else GCacheConfig()
+        if key == "gc-m":
+            cfg = GCacheConfig(
+                th_hot=base.th_hot,
+                th_hot_victim=base.th_hot_victim,
+                hot_insert_rrpv=base.hot_insert_rrpv,
+                cold_insert_rrpv=base.cold_insert_rrpv,
+                shutdown_interval=base.shutdown_interval,
+                adaptive_aging=True,
+                initial_m=base.initial_m,
+                max_m=base.max_m,
+                aging_epoch=base.aging_epoch,
+            )
+        else:
+            cfg = base
+        return DesignSpec(
+            key=key,
+            label="G-Cache" + (" (adaptive M)" if key == "gc-m" else ""),
+            make_l1_replacement=lambda: SRRIPPolicy(bits=rrpv_bits),
+            make_l1_mgmt=lambda: GCachePolicy(cfg),
+            uses_victim_bits=True,
+        )
+    raise ValueError(f"unknown design {key!r}; known: {DESIGN_KEYS}")

@@ -1,0 +1,305 @@
+"""Top-level simulator: event engine, CTA scheduling, run API.
+
+:func:`simulate` is the main entry point of the library::
+
+    from repro import simulate, GPUConfig, make_design
+    from repro.trace.suite import build_benchmark
+
+    trace = build_benchmark("SPMV")
+    result = simulate(trace, GPUConfig(), make_design("gc"))
+    print(result.ipc, result.l1.miss_rate)
+
+The engine keeps one pending wake event per core in a min-heap and
+processes them in global time order, which the memory system's
+next-free-time contention model relies on.  The CTA scheduler dispatches
+CTAs round-robin across cores (Table 2) and backfills a core as soon as
+one of its CTAs completes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.core import SIMTCore
+from repro.sim.config import GPUConfig
+from repro.sim.designs import DesignSpec, make_design
+from repro.sim.memory_system import MemorySystem
+from repro.stats.counters import CacheStats
+from repro.trace.trace import KernelTrace
+
+__all__ = ["RunResult", "simulate", "simulate_sequence", "GPU"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one kernel simulation.
+
+    Attributes:
+        benchmark: Kernel / benchmark name.
+        design: Design key (``"bs"``, ``"gc"``, ...).
+        cycles: Total elapsed core cycles.
+        instructions: Dynamic warp instructions issued.
+        l1: Merged L1 statistics across all cores.
+        l2: Merged L2 statistics across all banks.
+        avg_load_latency: Mean core-observed load latency in cycles.
+        dram_requests: Line transfers performed by the DRAM controllers.
+        dram_row_hit_rate: Row-buffer hit rate across all banks.
+        extras: Design-specific diagnostics (PD history, M history, ...).
+    """
+
+    benchmark: str
+    design: str
+    cycles: int
+    instructions: int
+    l1: CacheStats
+    l2: CacheStats
+    avg_load_latency: float
+    dram_requests: int
+    dram_row_hit_rate: float
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions per cycle (the paper's performance metric)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """IPC ratio vs a baseline run of the same kernel."""
+        if baseline.benchmark != self.benchmark:
+            raise ValueError(
+                f"speedup compares runs of the same kernel "
+                f"({self.benchmark} vs {baseline.benchmark})"
+            )
+        if baseline.ipc == 0:
+            raise ZeroDivisionError("baseline IPC is zero")
+        return self.ipc / baseline.ipc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RunResult {self.benchmark}/{self.design}: IPC={self.ipc:.3f} "
+            f"L1 miss={self.l1.miss_rate:.1%}>"
+        )
+
+
+class GPU:
+    """One GPU instance executing one kernel trace.
+
+    Args:
+        config: Architectural parameters.
+        design: Cache-management design.
+        victim_share_factor: ``S_v`` for victim-bit sharing studies.
+        timeline: Optional :class:`~repro.stats.timeline.Timeline`; when
+            given, cumulative counters are sampled every
+            ``timeline.interval`` cycles during the run.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        design: DesignSpec,
+        victim_share_factor: int = 1,
+        timeline=None,
+    ) -> None:
+        self.config = config
+        self.design = design
+        self.memory = MemorySystem(config, design, victim_share_factor)
+        self.cores: List[SIMTCore] = [
+            SIMTCore(i, config, self.memory) for i in range(config.num_cores)
+        ]
+        self.timeline = timeline
+        self._pending: List = []
+        self._scratchpad = 0
+        self._rr_core = 0
+
+    def _sample_timeline(self, now: int) -> None:
+        from repro.stats.timeline import TimelinePoint
+
+        stats = self.memory.l1_stats()
+        self.timeline.record(
+            TimelinePoint(
+                cycle=now,
+                instructions=sum(c.instructions for c in self.cores),
+                l1_accesses=stats.accesses,
+                l1_hits=stats.hits,
+                l1_bypasses=stats.bypasses,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # CTA dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, now: int, heap: List) -> None:
+        """Round-robin CTAs onto cores with available resources."""
+        n = self.config.num_cores
+        stuck = 0
+        while self._pending and stuck < n:
+            core = self.cores[self._rr_core]
+            self._rr_core = (self._rr_core + 1) % n
+            if core.can_accept(self._pending[-1], self._scratchpad):
+                cta = self._pending.pop()
+                core.launch(cta, self._scratchpad, now)
+                stuck = 0
+                if core.wake is None or core.wake > now + 1:
+                    core.wake = now + 1
+                    heapq.heappush(heap, (now + 1, core.core_id))
+            else:
+                stuck += 1
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self, trace: KernelTrace, start_time: int = 0, finalize: bool = True
+    ) -> RunResult:
+        """Execute ``trace`` to completion and collect statistics.
+
+        ``start_time`` supports sequential kernel launches on a warm GPU
+        (see :func:`simulate_sequence`): resource reservations from a
+        previous kernel remain valid because time keeps moving forward.
+        ``finalize=False`` defers closing the caches' reuse generations
+        (pass it for every kernel of a sequence except the last, so
+        resident lines are not double-counted).
+        """
+        trace.validate(self.config.simt_width)
+        # Reverse so list.pop() yields CTAs in launch order.
+        self._pending = list(reversed(trace.ctas))
+        self._scratchpad = trace.scratchpad_per_cta
+        if self._scratchpad > self.config.scratchpad_bytes:
+            raise ValueError(
+                f"CTA scratchpad {self._scratchpad} exceeds the core's "
+                f"{self.config.scratchpad_bytes} bytes"
+            )
+
+        heap: List = []
+        for core in self.cores:
+            core.wake = None
+        self._dispatch(start_time, heap)
+        if not heap:
+            raise RuntimeError("no CTA could be placed on any core")
+
+        next_sample = self.timeline.interval if self.timeline is not None else None
+
+        while heap:
+            now, core_id = heapq.heappop(heap)
+            core = self.cores[core_id]
+            if next_sample is not None and now >= next_sample:
+                self._sample_timeline(now)
+                next_sample = now + self.timeline.interval
+            if core.wake != now:
+                continue  # stale event
+            nxt = core.step(now)
+            if nxt is None:
+                core.wake = None
+            else:
+                core.wake = nxt
+                heapq.heappush(heap, (nxt, core_id))
+            if core.completed_cta and self._pending:
+                # Backfill freed resources; may reschedule any core,
+                # including this one (the wake guard drops stale events).
+                self._dispatch(now, heap)
+
+        if self._pending:  # pragma: no cover - defensive
+            raise RuntimeError(f"{len(self._pending)} CTAs were never scheduled")
+
+        if finalize:
+            self.memory.finalize()
+        cycles = max((c.finish_time for c in self.cores), default=0)
+        instructions = sum(c.instructions for c in self.cores)
+        return self._build_result(trace.name, cycles, instructions)
+
+    def _build_result(self, name: str, cycles: int, instructions: int) -> RunResult:
+        extras: Dict[str, object] = {
+            "coalescer_avg_txn": (
+                sum(c.coalescer.transactions for c in self.cores)
+                / max(1, sum(c.coalescer.warp_accesses for c in self.cores))
+            ),
+            "noc_avg_hops": self.memory.noc.average_hops,
+        }
+        mgmt = self.memory.l1s[0].mgmt
+        if hasattr(mgmt, "pd_history"):
+            extras["pd_history"] = list(mgmt.pd_history)
+            extras["final_pd"] = mgmt.pd
+        if hasattr(mgmt, "m_history"):
+            extras["m_history"] = list(mgmt.m_history)
+        if self.memory.victim_dir is not None:
+            extras["contentions_detected"] = self.memory.victim_dir.contentions_detected
+        return RunResult(
+            benchmark=name,
+            design=self.design.key,
+            cycles=cycles,
+            instructions=instructions,
+            l1=self.memory.l1_stats(),
+            l2=self.memory.l2_stats(),
+            avg_load_latency=self.memory.average_load_latency,
+            dram_requests=self.memory.dram_requests,
+            dram_row_hit_rate=self.memory.dram_row_hit_rate,
+            extras=extras,
+        )
+
+
+def simulate_sequence(
+    traces,
+    config: Optional[GPUConfig] = None,
+    design: Optional[DesignSpec] = None,
+    victim_share_factor: int = 1,
+) -> RunResult:
+    """Run several kernels back-to-back on one warm GPU.
+
+    The paper assumes kernels execute sequentially (Section 2.1); real
+    applications like srad launch SD1 then SD2 per iteration.  Caches,
+    victim bits and bypass switches persist across launches — cross-kernel
+    cache behaviour is exactly what this API exposes.
+
+    Returns an aggregate :class:`RunResult` whose name joins the kernel
+    names and whose counters cover the whole sequence.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("simulate_sequence needs at least one kernel")
+    if config is None:
+        config = GPUConfig()
+    if design is None:
+        design = make_design("bs")
+    gpu = GPU(config, design, victim_share_factor)
+    start = 0
+    result: Optional[RunResult] = None
+    for i, trace in enumerate(traces):
+        last = i == len(traces) - 1
+        result = gpu.run(trace, start_time=start, finalize=last)
+        start = result.cycles + 1
+    assert result is not None
+    return RunResult(
+        benchmark="+".join(t.name for t in traces),
+        design=design.key,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        l1=result.l1,
+        l2=result.l2,
+        avg_load_latency=result.avg_load_latency,
+        dram_requests=result.dram_requests,
+        dram_row_hit_rate=result.dram_row_hit_rate,
+        extras=result.extras,
+    )
+
+
+def simulate(
+    trace: KernelTrace,
+    config: Optional[GPUConfig] = None,
+    design: Optional[DesignSpec] = None,
+    victim_share_factor: int = 1,
+) -> RunResult:
+    """Run one kernel on one GPU design and return its statistics.
+
+    Args:
+        trace: Kernel trace (see :mod:`repro.trace`).
+        config: Architectural parameters; defaults to the paper's Table 2.
+        design: Cache-management design; defaults to the baseline (BS).
+        victim_share_factor: ``S_v`` for victim-bit sharing ablations.
+    """
+    if config is None:
+        config = GPUConfig()
+    if design is None:
+        design = make_design("bs")
+    return GPU(config, design, victim_share_factor).run(trace)

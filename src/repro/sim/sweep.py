@@ -1,0 +1,133 @@
+"""Parameter-sweep utility: run a design/config grid and tabulate.
+
+A small orchestration layer used by the ablation harnesses, examples and
+downstream experiments::
+
+    from repro.sim.sweep import Sweep
+
+    sweep = (
+        Sweep(build_benchmark("SSC", scale=0.5))
+        .designs("bs", "gc")
+        .configs(l1_size=[16 * 1024, 32 * 1024, 64 * 1024])
+    )
+    for point in sweep.run():
+        print(point.design, point.overrides, point.result.ipc)
+    print(sweep.table("ipc").render())
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.config import GPUConfig
+from repro.sim.designs import DesignSpec, make_design
+from repro.sim.simulator import RunResult, simulate
+from repro.stats.report import Table
+from repro.trace.trace import KernelTrace
+
+__all__ = ["Sweep", "SweepPoint"]
+
+#: Metric extractors available to :meth:`Sweep.table`.
+METRICS: Dict[str, Callable[[RunResult], str]] = {
+    "ipc": lambda r: f"{r.ipc:.3f}",
+    "miss_rate": lambda r: f"{r.l1.miss_rate:.1%}",
+    "bypass_ratio": lambda r: f"{r.l1.bypass_ratio:.1%}",
+    "load_latency": lambda r: f"{r.avg_load_latency:.0f}",
+    "dram_requests": lambda r: f"{r.dram_requests}",
+    "cycles": lambda r: f"{r.cycles}",
+}
+
+
+@dataclass
+class SweepPoint:
+    """One completed grid point."""
+
+    design: str
+    overrides: Dict[str, object]
+    result: RunResult
+
+
+@dataclass
+class Sweep:
+    """A benchmark x design x config-override grid.
+
+    Args:
+        trace: Kernel to run at every point.
+        base_config: Starting configuration (Table 2 by default).
+    """
+
+    trace: KernelTrace
+    base_config: GPUConfig = field(default_factory=GPUConfig)
+    _designs: List[str] = field(default_factory=lambda: ["bs"])
+    _grid: Dict[str, Sequence] = field(default_factory=dict)
+    _points: Optional[List[SweepPoint]] = None
+
+    def designs(self, *keys: str) -> "Sweep":
+        """Select the design keys to evaluate (chainable)."""
+        self._designs = list(keys)
+        self._points = None
+        return self
+
+    def configs(self, **axes: Sequence) -> "Sweep":
+        """Add config axes: each kwarg is a GPUConfig field with values."""
+        for name in axes:
+            if not hasattr(self.base_config, name):
+                raise ValueError(f"GPUConfig has no field {name!r}")
+        self._grid.update(axes)
+        self._points = None
+        return self
+
+    def _config_points(self):
+        if not self._grid:
+            yield {}
+            return
+        names = list(self._grid)
+        for values in itertools.product(*(self._grid[n] for n in names)):
+            yield dict(zip(names, values))
+
+    def _design_for(self, key: str) -> DesignSpec:
+        if key.startswith("spdp-b:"):
+            return make_design("spdp-b", pd=int(key.split(":", 1)[1]))
+        return make_design(key)
+
+    def run(self) -> List[SweepPoint]:
+        """Execute the whole grid (memoized)."""
+        if self._points is not None:
+            return self._points
+        points: List[SweepPoint] = []
+        for overrides in self._config_points():
+            config = replace(self.base_config, **overrides) if overrides else self.base_config
+            for key in self._designs:
+                result = simulate(self.trace, config, self._design_for(key))
+                points.append(SweepPoint(design=key, overrides=dict(overrides), result=result))
+        self._points = points
+        return points
+
+    def table(self, metric: str = "ipc") -> Table:
+        """Tabulate one metric: rows = config points, columns = designs."""
+        try:
+            extract = METRICS[metric]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; known: {sorted(METRICS)}"
+            ) from None
+        points = self.run()
+        table = Table(
+            ["config"] + list(self._designs),
+            title=f"{self.trace.name}: {metric} sweep",
+        )
+        for overrides in self._config_points():
+            label = (
+                ", ".join(f"{k}={v}" for k, v in overrides.items()) or "default"
+            )
+            cells = [label]
+            for key in self._designs:
+                match = next(
+                    p for p in points
+                    if p.design == key and p.overrides == overrides
+                )
+                cells.append(extract(match.result))
+            table.row(cells)
+        return table

@@ -1,0 +1,17 @@
+"""Statistics: counters, reuse histograms, energy, timelines, reports."""
+
+from repro.stats.counters import CacheStats, ReuseHistogram
+from repro.stats.energy import EnergyBreakdown, EnergyModel
+from repro.stats.report import Table, geomean
+from repro.stats.timeline import Timeline, TimelinePoint
+
+__all__ = [
+    "CacheStats",
+    "ReuseHistogram",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "Table",
+    "geomean",
+    "Timeline",
+    "TimelinePoint",
+]

@@ -1,0 +1,148 @@
+"""Statistics primitives: cache counters and reuse histograms.
+
+Every cache owns a :class:`CacheStats`; the simulator aggregates them into
+run-level reports (:mod:`repro.stats.report`).  The reuse histogram feeds
+the paper's Figure 2 (L1 reuse-count distribution).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["CacheStats", "ReuseHistogram"]
+
+
+class ReuseHistogram:
+    """Histogram of per-generation reuse counts.
+
+    A *generation* is one residency of a line (fill to eviction).  The
+    reuse count is the number of hits the generation received — zero means
+    the fill was never reused, i.e. wasted cache space (Fig. 2).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def record(self, reuse_count: int) -> None:
+        if reuse_count < 0:
+            raise ValueError(f"reuse count cannot be negative: {reuse_count}")
+        self._counts[reuse_count] += 1
+
+    @property
+    def generations(self) -> int:
+        """Total number of recorded generations."""
+        return sum(self._counts.values())
+
+    def fraction(self, reuse_count: int) -> float:
+        """Fraction of generations with exactly ``reuse_count`` reuses."""
+        total = self.generations
+        return self._counts[reuse_count] / total if total else 0.0
+
+    def fraction_at_least(self, reuse_count: int) -> float:
+        """Fraction of generations with >= ``reuse_count`` reuses."""
+        total = self.generations
+        if not total:
+            return 0.0
+        n = sum(c for k, c in self._counts.items() if k >= reuse_count)
+        return n / total
+
+    def buckets(self, cutoffs=(0, 1, 2)) -> Dict[str, float]:
+        """Bucketed distribution matching the paper's Fig. 2 legend.
+
+        With the default cutoffs this yields fractions for reuse counts
+        ``0``, ``1``, ``2`` and ``>=3`` (labelled ``"3+"``).
+        """
+        out: Dict[str, float] = {}
+        for c in cutoffs:
+            out[str(c)] = self.fraction(c)
+        out[f"{cutoffs[-1] + 1}+"] = self.fraction_at_least(cutoffs[-1] + 1)
+        return out
+
+    def merge(self, other: "ReuseHistogram") -> None:
+        """Accumulate another histogram into this one (per-core -> GPU)."""
+        self._counts.update(other._counts)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ReuseHistogram n={self.generations}>"
+
+
+@dataclass
+class CacheStats:
+    """Flat event counters for one cache.
+
+    Attributes follow GPGPU-Sim naming where a counterpart exists.  The
+    *miss rate* counts MSHR-merged accesses as misses (they did not find
+    the data ready in the array), matching the very high miss rates the
+    paper reports for streaming kernels.
+    """
+
+    loads: int = 0
+    stores: int = 0
+    load_hits: int = 0
+    store_hits: int = 0
+    mshr_merges: int = 0
+    fills: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    reuse: ReuseHistogram = field(default_factory=ReuseHistogram)
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def hits(self) -> int:
+        return self.load_hits + self.store_hits
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses; 0.0 for an untouched cache."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def load_miss_rate(self) -> float:
+        return 1.0 - self.load_hits / self.loads if self.loads else 0.0
+
+    @property
+    def bypass_ratio(self) -> float:
+        """Bypassed fills as a fraction of accesses (paper's Table 3)."""
+        return self.bypasses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate ``other`` into this instance (per-core -> GPU level)."""
+        self.loads += other.loads
+        self.stores += other.stores
+        self.load_hits += other.load_hits
+        self.store_hits += other.store_hits
+        self.mshr_merges += other.mshr_merges
+        self.fills += other.fills
+        self.bypasses += other.bypasses
+        self.evictions += other.evictions
+        self.writebacks += other.writebacks
+        self.reuse.merge(other.reuse)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict view for reports and JSON dumps."""
+        return {
+            "accesses": self.accesses,
+            "loads": self.loads,
+            "stores": self.stores,
+            "hits": self.hits,
+            "miss_rate": self.miss_rate,
+            "mshr_merges": self.mshr_merges,
+            "fills": self.fills,
+            "bypasses": self.bypasses,
+            "bypass_ratio": self.bypass_ratio,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }

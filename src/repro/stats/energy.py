@@ -1,0 +1,113 @@
+"""Memory-system energy model.
+
+The paper motivates G-Cache partly by energy: fewer L1 misses mean less
+interconnect traffic, fewer L2 accesses and fewer DRAM fetches, which
+"save bandwidth and energy consumption" (Section 3).  This module turns a
+:class:`~repro.sim.simulator.RunResult` into an energy estimate so that
+claim can be quantified.
+
+Per-event energies follow the usual CACTI/DRAMPower orders of magnitude
+for a 40 nm-class part (Fermi era); they are configurable because the
+*relative* comparison between designs is what matters, exactly as with
+the timing model.  Static/leakage power is charged per cycle so that a
+faster design also saves static energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats <- sim)
+    from repro.sim.simulator import RunResult
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy parameters (picojoules) and static power.
+
+    Attributes:
+        l1_access_pj: One L1 tag+data access (hit or miss probe).
+        l2_access_pj: One L2 bank access.
+        noc_flit_pj: Moving one 32 B flit one hop.
+        dram_access_pj: One 128 B DRAM line transfer (row-hit energy).
+        dram_row_act_pj: Additional energy for a row activation.
+        static_mw_per_cycle_pj: Chip-level memory-system leakage charged
+            per core cycle.
+    """
+
+    l1_access_pj: float = 25.0
+    l2_access_pj: float = 90.0
+    noc_flit_pj: float = 12.0
+    dram_access_pj: float = 1100.0
+    dram_row_act_pj: float = 900.0
+    static_mw_per_cycle_pj: float = 40.0
+
+    def evaluate(self, result: "RunResult", avg_hops: float = 4.0) -> "EnergyBreakdown":
+        """Estimate the memory-system energy of one run.
+
+        Args:
+            result: A finished simulation.
+            avg_hops: Mean NoC hops per packet (available in
+                ``result.extras['noc_avg_hops']`` when recorded).
+        """
+        hops = float(result.extras.get("noc_avg_hops", avg_hops)) or avg_hops
+        l1 = result.l1.accesses * self.l1_access_pj
+        l2 = result.l2.accesses * self.l2_access_pj
+        # Each L2 access implies a request/response packet pair; data
+        # packets dominate, ~5 flits each.
+        noc = result.l2.accesses * 2 * 5 * hops * self.noc_flit_pj
+        row_misses = result.dram_requests * (1.0 - result.dram_row_hit_rate)
+        dram = (
+            result.dram_requests * self.dram_access_pj
+            + row_misses * self.dram_row_act_pj
+        )
+        static = result.cycles * self.static_mw_per_cycle_pj
+        return EnergyBreakdown(
+            l1_pj=l1, l2_pj=l2, noc_pj=noc, dram_pj=dram, static_pj=static,
+            instructions=result.instructions,
+        )
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy totals for one run, in picojoules."""
+
+    l1_pj: float
+    l2_pj: float
+    noc_pj: float
+    dram_pj: float
+    static_pj: float
+    instructions: int
+
+    @property
+    def total_pj(self) -> float:
+        return self.l1_pj + self.l2_pj + self.noc_pj + self.dram_pj + self.static_pj
+
+    @property
+    def dynamic_pj(self) -> float:
+        return self.total_pj - self.static_pj
+
+    @property
+    def pj_per_instruction(self) -> float:
+        """Energy efficiency: memory-system pJ per warp instruction."""
+        return self.total_pj / self.instructions if self.instructions else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "l1_pj": self.l1_pj,
+            "l2_pj": self.l2_pj,
+            "noc_pj": self.noc_pj,
+            "dram_pj": self.dram_pj,
+            "static_pj": self.static_pj,
+            "total_pj": self.total_pj,
+            "pj_per_instruction": self.pj_per_instruction,
+        }
+
+    def relative_to(self, baseline: "EnergyBreakdown") -> float:
+        """This run's total energy as a fraction of ``baseline``'s."""
+        if baseline.total_pj == 0:
+            raise ZeroDivisionError("baseline consumed no energy")
+        return self.total_pj / baseline.total_pj

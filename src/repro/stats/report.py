@@ -1,0 +1,101 @@
+"""Report rendering: aligned text tables, CSV, and geometric means.
+
+The experiment harnesses print their results through this module so that
+every figure/table reproduction has a consistent, diffable text form
+(mirroring how simulator papers tabulate results).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["geomean", "Table", "format_speedup", "format_pct"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregation for speedups).
+
+    Raises ``ValueError`` on an empty sequence or non-positive values —
+    a non-positive speedup always indicates an upstream bug.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of an empty sequence")
+    total = 0.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(vals))
+
+
+def format_speedup(x: float) -> str:
+    return f"{x:.3f}"
+
+
+def format_pct(x: float) -> str:
+    return f"{100.0 * x:.1f}%"
+
+
+class Table:
+    """A small aligned-text table builder.
+
+    >>> t = Table(["bench", "miss"])
+    >>> t.row(["BFS", "80.0%"])
+    >>> print(t.render())          # doctest: +NORMALIZE_WHITESPACE
+    bench  miss
+    -----  -----
+    BFS    80.0%
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    def row(self, cells: Sequence[object]) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append([str(c) for c in cells])
+
+    def rule(self) -> None:
+        """Insert a horizontal separator (before group summary rows)."""
+        self._rows.append(["---"] * len(self.columns))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt(self.columns))
+        lines.append(fmt(["-" * w for w in widths]))
+        for row in self._rows:
+            if row[0] == "---":
+                lines.append(fmt(["-" * w for w in widths]))
+            else:
+                lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated form (no quoting: cells never contain commas)."""
+        out = [",".join(self.columns)]
+        for row in self._rows:
+            if row[0] != "---":
+                out.append(",".join(row))
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,92 @@
+"""Windowed time-series collection for simulation runs.
+
+A :class:`Timeline` receives snapshots at fixed cycle intervals (the
+simulator samples when constructed with ``timeline=``) and exposes
+per-window rates — IPC over time, miss rate over time, bypass rate over
+time.  Useful for watching G-Cache's detection loop converge (the warmup
+the paper's counters hide) and for the adaptive-M dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["TimelinePoint", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Cumulative counters sampled at one instant."""
+
+    cycle: int
+    instructions: int
+    l1_accesses: int
+    l1_hits: int
+    l1_bypasses: int
+
+
+@dataclass(frozen=True)
+class TimelineWindow:
+    """Rates over one sampling window."""
+
+    start_cycle: int
+    end_cycle: int
+    ipc: float
+    miss_rate: float
+    bypass_rate: float
+
+
+class Timeline:
+    """Collects snapshots and derives per-window rates.
+
+    Args:
+        interval: Cycles between samples.
+    """
+
+    def __init__(self, interval: int = 2048) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+        self.points: List[TimelinePoint] = []
+
+    def record(self, point: TimelinePoint) -> None:
+        if self.points and point.cycle <= self.points[-1].cycle:
+            return  # duplicate / out-of-order sample, skip
+        self.points.append(point)
+
+    def windows(self) -> List[TimelineWindow]:
+        """Per-window rates between consecutive samples."""
+        out: List[TimelineWindow] = []
+        for prev, cur in zip(self.points, self.points[1:]):
+            cycles = cur.cycle - prev.cycle
+            accesses = cur.l1_accesses - prev.l1_accesses
+            hits = cur.l1_hits - prev.l1_hits
+            bypasses = cur.l1_bypasses - prev.l1_bypasses
+            out.append(
+                TimelineWindow(
+                    start_cycle=prev.cycle,
+                    end_cycle=cur.cycle,
+                    ipc=(cur.instructions - prev.instructions) / cycles if cycles else 0.0,
+                    miss_rate=1.0 - hits / accesses if accesses else 0.0,
+                    bypass_rate=bypasses / accesses if accesses else 0.0,
+                )
+            )
+        return out
+
+    def sparkline(self, metric: str = "miss_rate", width: int = 60) -> str:
+        """ASCII sparkline of one metric (for terminal reports)."""
+        windows = self.windows()
+        if not windows:
+            return ""
+        values = [getattr(w, metric) for w in windows]
+        if len(values) > width:
+            stride = len(values) / width
+            values = [values[int(i * stride)] for i in range(width)]
+        lo, hi = min(values), max(values)
+        span = (hi - lo) or 1.0
+        glyphs = "▁▂▃▄▅▆▇█"
+        return "".join(glyphs[int((v - lo) / span * (len(glyphs) - 1))] for v in values)
+
+    def __len__(self) -> int:
+        return len(self.points)

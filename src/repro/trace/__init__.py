@@ -1,0 +1,23 @@
+"""Kernel traces: IR and synthetic Table-1 benchmark generators."""
+
+from repro.trace.trace import (
+    CTATrace,
+    KernelTrace,
+    OP_ALU,
+    OP_ATOM,
+    OP_BAR,
+    OP_LOAD,
+    OP_SMEM,
+    OP_STORE,
+)
+
+__all__ = [
+    "CTATrace",
+    "KernelTrace",
+    "OP_ALU",
+    "OP_ATOM",
+    "OP_BAR",
+    "OP_LOAD",
+    "OP_SMEM",
+    "OP_STORE",
+]

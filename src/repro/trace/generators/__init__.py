@@ -1,0 +1,5 @@
+"""Synthetic benchmark generators, one per Table-1 workload."""
+
+from repro.trace.generators.base import BenchmarkGenerator, TraceParams
+
+__all__ = ["BenchmarkGenerator", "TraceParams"]

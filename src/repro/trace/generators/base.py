@@ -1,0 +1,224 @@
+"""Shared framework for the synthetic benchmark generators.
+
+Each generator reproduces the *memory-access structure* of one Table-1
+benchmark — streaming fractions, reuse distances, sharing and coalescing
+behaviour — rather than its arithmetic.  Traces are deterministic given
+``(scale, seed)``.
+
+Modelling conventions:
+
+* Addresses are byte addresses; distinct data structures live in disjoint
+  1 GiB *regions* so they never alias.
+* A *fully coalesced* warp access is emitted as a single lane address:
+  the coalescing unit would merge all 32 lanes into that one transaction
+  anyway, and the compact form keeps traces small.  Divergent accesses
+  emit one lane address per distinct line touched.
+* Generators interleave ALU groups between memory operations to set the
+  kernel's compute-to-memory ratio, which is what determines how much of
+  the memory latency multithreading can hide.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.trace.trace import (
+    CTATrace,
+    Instruction,
+    KernelTrace,
+    OP_ALU,
+    OP_ATOM,
+    OP_BAR,
+    OP_LOAD,
+    OP_SMEM,
+    OP_STORE,
+    WarpTrace,
+)
+
+__all__ = [
+    "TraceParams",
+    "RegionAllocator",
+    "BenchmarkGenerator",
+    "alu",
+    "smem",
+    "bar",
+    "load",
+    "store",
+    "atom",
+    "LINE",
+]
+
+#: Line size assumed by the generators (matches Table 2).
+LINE = 128
+
+
+@dataclass(frozen=True)
+class TraceParams:
+    """Knobs shared by every generator.
+
+    Attributes:
+        scale: Multiplies the CTA count (work volume); 1.0 is the default
+            experiment size, smaller values make unit tests fast.
+        seed: RNG seed; traces are deterministic given (scale, seed).
+        warps_per_cta: Warps in each CTA.
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    warps_per_cta: int = 8
+
+    def scaled(self, base_ctas: int, minimum: int = 8) -> int:
+        """CTA count after applying ``scale``."""
+        return max(minimum, int(round(base_ctas * self.scale)))
+
+
+class RegionAllocator:
+    """Hands out disjoint 1 GiB address regions for data structures."""
+
+    REGION_BYTES = 1 << 30
+
+    def __init__(self) -> None:
+        self._next = 1  # region 0 is reserved / never used
+
+    def region(self) -> int:
+        """Base byte address of a fresh region."""
+        base = self._next * self.REGION_BYTES
+        self._next += 1
+        return base
+
+
+# ----------------------------------------------------------------------
+# Instruction constructors (tiny, but they keep generators readable)
+# ----------------------------------------------------------------------
+def alu(count: int) -> Instruction:
+    return (OP_ALU, count)
+
+
+def smem(count: int) -> Instruction:
+    return (OP_SMEM, count)
+
+
+def bar() -> Instruction:
+    return (OP_BAR, 0)
+
+
+def load(*lane_addrs: int) -> Instruction:
+    return (OP_LOAD, tuple(lane_addrs))
+
+
+def store(*lane_addrs: int) -> Instruction:
+    return (OP_STORE, tuple(lane_addrs))
+
+
+def atom(*lane_addrs: int) -> Instruction:
+    return (OP_ATOM, tuple(lane_addrs))
+
+
+class BenchmarkGenerator(ABC):
+    """Base class: one subclass per Table-1 benchmark.
+
+    Subclasses implement :meth:`warp_program`, which emits the instruction
+    stream of one warp, and declare their shape through class attributes.
+
+    Attributes:
+        name: Benchmark short name (Table 1).
+        sensitivity: ``"sensitive"``, ``"moderate"`` or ``"insensitive"``.
+        suite: Origin suite in the paper (Rodinia, Parboil, Mars, SDK).
+        description: Table 1 description.
+        base_ctas: CTA count at scale 1.0.
+        scratchpad_per_cta: Scratchpad footprint (limits CTA concurrency).
+    """
+
+    name: str = "?"
+    sensitivity: str = "sensitive"
+    suite: str = "?"
+    description: str = ""
+    base_ctas: int = 96
+    scratchpad_per_cta: int = 0
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        self.params = params
+        self.regions = RegionAllocator()
+        self._rng = random.Random((hash(self.name) & 0xFFFF) ^ params.seed)
+
+    # ------------------------------------------------------------------
+    # Randomness helpers
+    # ------------------------------------------------------------------
+    def rng_for(self, cta_id: int, warp_id: int) -> random.Random:
+        """Deterministic per-warp RNG (stable across design sweeps)."""
+        return random.Random(
+            (hash(self.name) & 0xFFFF) * 1_000_003
+            + self.params.seed * 7919
+            + cta_id * 131
+            + warp_id
+        )
+
+    @staticmethod
+    def skewed_index(rng: random.Random, n: int, skew: float) -> int:
+        """Popularity-skewed index in [0, n): ``skew`` > 1 favours low indices.
+
+        ``skew == 1`` is uniform; 3-6 gives the hot-head distributions of
+        hash tables and hub-dominated graphs.
+        """
+        return min(n - 1, int(n * (rng.random() ** skew)))
+
+    @staticmethod
+    def line_addr(base: int, line_index: int) -> int:
+        """Byte address of line ``line_index`` within the region at ``base``."""
+        return base + line_index * LINE
+
+    def stream_addr(
+        self,
+        base: int,
+        cta_id: int,
+        warp_id: int,
+        iteration: int,
+        iters_per_warp: int,
+    ) -> int:
+        """Streaming address with the coalesced-kernel layout.
+
+        Real data-parallel kernels assign *adjacent* elements to adjacent
+        warps: at any instant, the warps of one CTA fetch a contiguous
+        run of lines.  This layout (iteration-major within a CTA block)
+        is what gives GPU streams their DRAM row-buffer locality; giving
+        each warp a distant private cursor would make every stream a
+        row-conflict storm that no FR-FCFS scheduler could fix.
+        """
+        wpc = self.params.warps_per_cta
+        line = cta_id * wpc * iters_per_warp + iteration * wpc + warp_id
+        return base + line * LINE
+
+    # ------------------------------------------------------------------
+    # Trace assembly
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        """Emit the instruction stream of one warp."""
+
+    def build(self) -> KernelTrace:
+        """Generate the full kernel trace."""
+        num_ctas = self.params.scaled(self.base_ctas)
+        ctas: List[CTATrace] = []
+        for cta_id in range(num_ctas):
+            warps = [
+                self.warp_program(cta_id, w)
+                for w in range(self.params.warps_per_cta)
+            ]
+            ctas.append(CTATrace(warps=warps))
+        trace = KernelTrace(
+            name=self.name,
+            ctas=ctas,
+            scratchpad_per_cta=self.scratchpad_per_cta,
+            meta={
+                "sensitivity": self.sensitivity,
+                "suite": self.suite,
+                "description": self.description,
+                "scale": self.params.scale,
+                "seed": self.params.seed,
+            },
+        )
+        trace.validate()
+        return trace

@@ -1,0 +1,66 @@
+"""KMN — k-means clustering (Rodinia).
+
+Every warp compares its streamed points against the full shared centroid
+array, scanning it cyclically.  The centroid footprint (60 KB by default)
+exceeds the 32 KB L1, so under LRU the scan thrashes: each line is evicted
+just before its next use.  The reuse distance is large but *finite* — this
+is the benchmark where SPDP-B's long protection distance (optimal PD 24,
+Table 3) beats G-Cache, whose per-bypass RRPV aging evicts protected lines
+before such distant reuse arrives (the Section 5.1 discussion and the
+motivation for the M-th-bypass extension).
+"""
+
+from __future__ import annotations
+
+from repro.trace.generators.base import (
+    BenchmarkGenerator,
+    TraceParams,
+    alu,
+    load,
+    store,
+)
+from repro.trace.trace import WarpTrace
+
+__all__ = ["KMNGenerator"]
+
+
+class KMNGenerator(BenchmarkGenerator):
+    """Streaming points vs a cyclically scanned shared centroid array."""
+
+    name = "KMN"
+    sensitivity = "sensitive"
+    suite = "Rodinia"
+    description = "K-means Clustering"
+    base_ctas = 96
+
+    points_per_warp = 20
+    #: Centroid lines read per point (a chunk of the cyclic scan).
+    chunk_lines = 6
+    #: Shared centroid footprint in lines (60 KB: thrashes a 32 KB L1,
+    #: fits a 64-128 KB one — the Fig. 3/4 size-sensitivity shape).
+    centroid_lines = 480
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.points_base = self.regions.region()
+        self.centroid_base = self.regions.region()
+        self.assign_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        wpc = self.params.warps_per_cta
+        warp_index = cta_id * wpc + warp_id
+        program: WarpTrace = []
+        # Phase-offset the scans so the centroid array stays uniformly hot
+        # rather than being walked in lockstep by every warp.
+        cursor = (warp_index * 37) % self.centroid_lines
+        n = self.points_per_warp
+
+        for point in range(n):
+            program.append(load(self.stream_addr(self.points_base, cta_id, warp_id, point, n)))
+            program.append(alu(2))
+            for _ in range(self.chunk_lines):
+                program.append(load(self.line_addr(self.centroid_base, cursor)))
+                program.append(alu(2))
+                cursor = (cursor + 1) % self.centroid_lines
+            program.append(store(self.stream_addr(self.assign_base, cta_id, warp_id, point, n)))
+        return program

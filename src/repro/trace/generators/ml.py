@@ -1,0 +1,103 @@
+"""BP and CFD generators.
+
+* **BP** (Rodinia back-propagation) — layer activations are streamed once
+  and weight tiles live in scratchpad; the global-memory footprint is
+  essentially write-once/read-once, making BP cache insensitive (0.2 %
+  bypass under G-Cache, Table 3).
+* **CFD** (Rodinia CFD solver) — unstructured-mesh flux kernel: cell data
+  streams while neighbour gathers exhibit locality through shared faces.
+  Moderately cache sensitive; G-Cache bypasses 44.3 % of accesses.
+"""
+
+from __future__ import annotations
+
+from repro.trace.generators.base import (
+    BenchmarkGenerator,
+    TraceParams,
+    alu,
+    load,
+    smem,
+    store,
+)
+from repro.trace.trace import WarpTrace
+
+__all__ = ["BPGenerator", "CFDGenerator"]
+
+
+class BPGenerator(BenchmarkGenerator):
+    """Back-propagation: streamed activations, scratchpad weights."""
+
+    name = "BP"
+    sensitivity = "insensitive"
+    suite = "Rodinia"
+    description = "Back Propagation"
+    base_ctas = 96
+    scratchpad_per_cta = 16 * 1024
+
+    neurons_per_warp = 24
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.input_base = self.regions.region()
+        self.weight_base = self.regions.region()
+        self.output_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        program: WarpTrace = []
+        n = self.neurons_per_warp
+        for i in range(n):
+            program.append(load(self.stream_addr(self.input_base, cta_id, warp_id, i, n)))
+            # Weight tile already staged in scratchpad.
+            program.append(smem(4))
+            program.append(alu(6))
+            program.append(load(self.stream_addr(self.weight_base, cta_id, warp_id, i, n)))
+            program.append(alu(4))
+            program.append(store(self.stream_addr(self.output_base, cta_id, warp_id, i, n)))
+        return program
+
+
+class CFDGenerator(BenchmarkGenerator):
+    """Unstructured-mesh flux computation: stream + local gathers."""
+
+    name = "CFD"
+    sensitivity = "moderate"
+    suite = "Rodinia"
+    description = "CFD Solver"
+    base_ctas = 96
+
+    cells_per_warp = 24
+    #: Mesh-node array: locality comes from faces shared between nearby
+    #: cells — gathers cluster around the warp's own cell range.
+    mesh_lines = 4096
+    neighbours_per_cell = 3
+    locality_window = 48
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.cell_base = self.regions.region()
+        self.mesh_base = self.regions.region()
+        self.flux_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        rng = self.rng_for(cta_id, warp_id)
+        wpc = self.params.warps_per_cta
+        warp_index = cta_id * wpc + warp_id
+        program: WarpTrace = []
+        n = self.cells_per_warp
+
+        for i in range(n):
+            program.append(load(self.stream_addr(self.cell_base, cta_id, warp_id, i, n)))
+            program.append(alu(3))
+            # Neighbour gathers: clustered around the cell's mesh window.
+            centre = (warp_index * n + i) % self.mesh_lines
+            lanes = tuple(
+                self.line_addr(
+                    self.mesh_base,
+                    (centre + rng.randrange(self.locality_window)) % self.mesh_lines,
+                )
+                for _ in range(self.neighbours_per_cell)
+            )
+            program.append(load(*lanes))
+            program.append(alu(5))
+            program.append(store(self.stream_addr(self.flux_base, cta_id, warp_id, i, n)))
+        return program

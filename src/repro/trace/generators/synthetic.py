@@ -1,0 +1,199 @@
+"""Parameterized synthetic microbenchmark generators.
+
+Controlled single-pattern workloads for calibration studies, policy
+debugging and documentation — the "unit tests" of workload space, as
+opposed to the composite Table-1 benchmarks:
+
+* :class:`StreamingGenerator` — pure coalesced streaming, zero reuse.
+* :class:`CyclicScanGenerator` — every warp cyclically scans one shared
+  array of configurable footprint (the LRU-cliff probe).
+* :class:`ZipfGatherGenerator` — popularity-skewed random gathers.
+* :class:`PrivateHotGenerator` — small per-warp working sets destroyed
+  by inter-warp contention (the paper's core scenario).
+* :class:`PointerChaseGenerator` — serial dependent misses (latency
+  probe; one transaction outstanding per warp).
+"""
+
+from __future__ import annotations
+
+from repro.trace.generators.base import (
+    BenchmarkGenerator,
+    TraceParams,
+    alu,
+    load,
+    store,
+)
+from repro.trace.trace import WarpTrace
+
+__all__ = [
+    "StreamingGenerator",
+    "CyclicScanGenerator",
+    "ZipfGatherGenerator",
+    "PrivateHotGenerator",
+    "PointerChaseGenerator",
+]
+
+
+class StreamingGenerator(BenchmarkGenerator):
+    """Pure streaming: every line touched exactly once, coalesced."""
+
+    name = "SYN-STREAM"
+    sensitivity = "insensitive"
+    suite = "synthetic"
+    description = "pure streaming"
+    base_ctas = 64
+
+    iters_per_warp = 16
+    alu_per_iter = 4
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.data_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        n = self.iters_per_warp
+        program: WarpTrace = []
+        for i in range(n):
+            program.append(load(self.stream_addr(self.data_base, cta_id, warp_id, i, n)))
+            program.append(alu(self.alu_per_iter))
+        return program
+
+
+class CyclicScanGenerator(BenchmarkGenerator):
+    """All warps scan one shared array cyclically from private phases.
+
+    ``footprint_lines`` is the knob: below the L1 line count everything
+    hits; just above it LRU collapses while protection policies keep a
+    near-capacity subset (the cliff the paper's Section 3 describes).
+    """
+
+    name = "SYN-SCAN"
+    sensitivity = "sensitive"
+    suite = "synthetic"
+    description = "shared cyclic scan"
+    base_ctas = 64
+
+    footprint_lines = 320
+    reads_per_iter = 4
+    iters_per_warp = 12
+    stream_fraction_den = 4  # one streaming load per this many scan reads
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.scan_base = self.regions.region()
+        self.stream_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        wpc = self.params.warps_per_cta
+        warp_index = cta_id * wpc + warp_id
+        cursor = (warp_index * 37) % self.footprint_lines
+        program: WarpTrace = []
+        n = self.iters_per_warp
+        for i in range(n):
+            program.append(load(self.stream_addr(self.stream_base, cta_id, warp_id, i, n)))
+            for _ in range(self.reads_per_iter):
+                program.append(load(self.line_addr(self.scan_base, cursor)))
+                program.append(alu(2))
+                cursor = (cursor + 1) % self.footprint_lines
+        return program
+
+
+class ZipfGatherGenerator(BenchmarkGenerator):
+    """Popularity-skewed random gathers over a configurable table."""
+
+    name = "SYN-ZIPF"
+    sensitivity = "sensitive"
+    suite = "synthetic"
+    description = "zipf gathers"
+    base_ctas = 64
+
+    table_lines = 1024
+    skew = 3.0
+    gathers_per_warp = 48
+    lanes_per_gather = 4
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.table_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        rng = self.rng_for(cta_id, warp_id)
+        program: WarpTrace = []
+        for _ in range(self.gathers_per_warp):
+            lanes = tuple(
+                self.line_addr(
+                    self.table_base,
+                    self.skewed_index(rng, self.table_lines, self.skew),
+                )
+                for _ in range(self.lanes_per_gather)
+            )
+            program.append(load(*lanes))
+            program.append(alu(3))
+        return program
+
+
+class PrivateHotGenerator(BenchmarkGenerator):
+    """Per-warp hot lines + stream pressure: the contention scenario.
+
+    Each warp re-touches ``hot_lines`` private lines every iteration
+    while a stream churns the cache.  Whether the hot lines survive is
+    purely a question of management policy — this is the minimal
+    workload on which G-Cache's victim-hint protection is visible.
+    """
+
+    name = "SYN-HOT"
+    sensitivity = "sensitive"
+    suite = "synthetic"
+    description = "private hot lines under stream pressure"
+    base_ctas = 64
+
+    hot_lines = 2
+    iters_per_warp = 16
+    stream_loads_per_iter = 2
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.hot_base = self.regions.region()
+        self.stream_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        wpc = self.params.warps_per_cta
+        warp_index = cta_id * wpc + warp_id
+        hot0 = warp_index * self.hot_lines
+        program: WarpTrace = []
+        n = self.iters_per_warp * self.stream_loads_per_iter
+        k = 0
+        for i in range(self.iters_per_warp):
+            for _ in range(self.stream_loads_per_iter):
+                program.append(load(self.stream_addr(self.stream_base, cta_id, warp_id, k, n)))
+                k += 1
+            hot = hot0 + i % self.hot_lines
+            program.append(load(self.line_addr(self.hot_base, hot)))
+            program.append(alu(2))
+            program.append(store(self.line_addr(self.hot_base, hot)))
+        return program
+
+
+class PointerChaseGenerator(BenchmarkGenerator):
+    """Dependent random loads: a pure memory-latency probe."""
+
+    name = "SYN-CHASE"
+    sensitivity = "insensitive"
+    suite = "synthetic"
+    description = "pointer chasing"
+    base_ctas = 32
+
+    chain_length = 24
+    pool_lines = 1 << 18
+
+    def __init__(self, params: TraceParams = TraceParams()) -> None:
+        super().__init__(params)
+        self.pool_base = self.regions.region()
+
+    def warp_program(self, cta_id: int, warp_id: int) -> WarpTrace:
+        rng = self.rng_for(cta_id, warp_id)
+        program: WarpTrace = []
+        for _ in range(self.chain_length):
+            program.append(load(self.line_addr(self.pool_base, rng.randrange(self.pool_lines))))
+            program.append(alu(1))
+        return program

@@ -1,0 +1,123 @@
+"""Kernel-trace serialization.
+
+Traces are deterministic functions of (generator, scale, seed), but
+saving them matters in practice: sharing a workload with a collaborator,
+pinning the exact trace a bug reproduced on, or importing access streams
+produced by an external tool.  The format is a compact JSON document —
+line-oriented enough to diff, explicit enough to hand-write small cases.
+
+Format (version 1)::
+
+    {
+      "format": "repro-trace",
+      "version": 1,
+      "name": "SPMV",
+      "scratchpad_per_cta": 0,
+      "meta": {...},
+      "ctas": [ [ [ [op, arg], ... ], ... ], ... ]
+    }
+
+Memory-op payloads are address lists; ALU/SMEM payloads are counts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.trace.trace import (
+    CTATrace,
+    KernelTrace,
+    OP_ALU,
+    OP_BAR,
+    OP_SMEM,
+)
+
+__all__ = ["save_trace", "load_trace", "dumps_trace", "loads_trace"]
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+_COUNT_OPS = (OP_ALU, OP_SMEM, OP_BAR)
+
+
+def _encode(trace: KernelTrace) -> dict:
+    ctas = []
+    for cta in trace.ctas:
+        warps = []
+        for warp in cta.warps:
+            warps.append(
+                [
+                    [op, arg if op in _COUNT_OPS else list(arg)]
+                    for op, arg in warp
+                ]
+            )
+        ctas.append(warps)
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "scratchpad_per_cta": trace.scratchpad_per_cta,
+        "meta": trace.meta,
+        "ctas": ctas,
+    }
+
+
+def _decode(doc: dict) -> KernelTrace:
+    if doc.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"not a {FORMAT_NAME} document (format={doc.get('format')!r})"
+        )
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace version {doc.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    ctas = []
+    for warps in doc["ctas"]:
+        decoded_warps = []
+        for warp in warps:
+            decoded_warps.append(
+                [
+                    (op, arg if op in _COUNT_OPS else tuple(arg))
+                    for op, arg in warp
+                ]
+            )
+        ctas.append(CTATrace(warps=decoded_warps))
+    trace = KernelTrace(
+        name=doc["name"],
+        ctas=ctas,
+        scratchpad_per_cta=doc.get("scratchpad_per_cta", 0),
+        meta=doc.get("meta", {}),
+    )
+    trace.validate()
+    return trace
+
+
+def dumps_trace(trace: KernelTrace) -> str:
+    """Serialize a trace to a JSON string."""
+    return json.dumps(_encode(trace), separators=(",", ":"))
+
+
+def loads_trace(text: str) -> KernelTrace:
+    """Parse a trace from a JSON string (validates before returning)."""
+    return _decode(json.loads(text))
+
+
+def save_trace(trace: KernelTrace, path: Union[str, Path, IO[str]]) -> None:
+    """Write a trace to ``path`` (a filesystem path or open text file)."""
+    if isinstance(path, (str, Path)):
+        Path(path).write_text(dumps_trace(trace))
+    else:
+        path.write(dumps_trace(trace))
+
+
+def load_trace(path: Union[str, Path, IO[str]]) -> KernelTrace:
+    """Read a trace written by :func:`save_trace`."""
+    if isinstance(path, (str, Path)):
+        text = Path(path).read_text()
+    else:
+        text = path.read()
+    return loads_trace(text)

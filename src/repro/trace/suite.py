@@ -1,0 +1,112 @@
+"""Benchmark registry (paper Table 1).
+
+All 17 benchmarks with their sensitivity classification::
+
+    from repro.trace.suite import build_benchmark, CACHE_SENSITIVE
+
+    trace = build_benchmark("SPMV", scale=0.5, seed=1)
+
+The classes drive the per-group geometric means reported in Figs. 8-10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.trace.generators.base import BenchmarkGenerator, TraceParams
+from repro.trace.generators.dense import (
+    FFTGenerator,
+    FWTGenerator,
+    NWGenerator,
+    SYRKGenerator,
+)
+from repro.trace.generators.graph import BFSGenerator
+from repro.trace.generators.kmeans import KMNGenerator
+from repro.trace.generators.mapreduce import (
+    IIXGenerator,
+    PVCGenerator,
+    PVRGenerator,
+    SSCGenerator,
+)
+from repro.trace.generators.ml import BPGenerator, CFDGenerator
+from repro.trace.generators.spmv import SPMVGenerator
+from repro.trace.generators.stencil import (
+    SD1Generator,
+    SD2Generator,
+    STLGenerator,
+    WPGenerator,
+)
+from repro.trace.trace import KernelTrace
+
+__all__ = [
+    "GENERATORS",
+    "ALL_BENCHMARKS",
+    "CACHE_SENSITIVE",
+    "MODERATELY_SENSITIVE",
+    "CACHE_INSENSITIVE",
+    "sensitivity_of",
+    "build_benchmark",
+]
+
+#: Generator class per benchmark, in the paper's Table-1 order.
+GENERATORS: Dict[str, Type[BenchmarkGenerator]] = {
+    "BFS": BFSGenerator,
+    "KMN": KMNGenerator,
+    "PVC": PVCGenerator,
+    "SSC": SSCGenerator,
+    "SD2": SD2Generator,
+    "SPMV": SPMVGenerator,
+    "SYRK": SYRKGenerator,
+    "IIX": IIXGenerator,
+    "FFT": FFTGenerator,
+    "CFD": CFDGenerator,
+    "PVR": PVRGenerator,
+    "NW": NWGenerator,
+    "SD1": SD1Generator,
+    "BP": BPGenerator,
+    "STL": STLGenerator,
+    "WP": WPGenerator,
+    "FWT": FWTGenerator,
+}
+
+ALL_BENCHMARKS: List[str] = list(GENERATORS)
+
+CACHE_SENSITIVE: List[str] = [
+    "BFS", "KMN", "PVC", "SSC", "SD2", "SPMV", "SYRK", "IIX",
+]
+MODERATELY_SENSITIVE: List[str] = ["FFT", "CFD", "PVR", "NW"]
+CACHE_INSENSITIVE: List[str] = ["SD1", "BP", "STL", "WP", "FWT"]
+
+
+def sensitivity_of(name: str) -> str:
+    """Sensitivity class (``sensitive`` / ``moderate`` / ``insensitive``)."""
+    return GENERATORS[_canonical(name)].sensitivity
+
+
+def _canonical(name: str) -> str:
+    key = name.upper()
+    if key not in GENERATORS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(GENERATORS)}"
+        )
+    return key
+
+
+def build_benchmark(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    params: Optional[TraceParams] = None,
+) -> KernelTrace:
+    """Generate the kernel trace for one Table-1 benchmark.
+
+    Args:
+        name: Benchmark short name (case insensitive).
+        scale: Work-volume multiplier (CTA count); 1.0 is experiment size.
+        seed: RNG seed for the generator.
+        params: Full :class:`TraceParams`, overriding scale/seed.
+    """
+    cls = GENERATORS[_canonical(name)]
+    if params is None:
+        params = TraceParams(scale=scale, seed=seed)
+    return cls(params).build()

@@ -1,0 +1,90 @@
+"""Shared fixtures: small configurations and hand-built traces.
+
+Unit tests use deliberately tiny geometries (2 cores, small caches) so
+behaviours are easy to reason about and runs are fast; the benchmark
+harnesses in benchmarks/ exercise the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.sim.config import GPUConfig
+from repro.trace.trace import (
+    CTATrace,
+    KernelTrace,
+    OP_ALU,
+    OP_BAR,
+    OP_LOAD,
+    OP_SMEM,
+    OP_STORE,
+)
+
+LINE = 128
+
+
+@pytest.fixture
+def tiny_config() -> GPUConfig:
+    """2 cores, 2 KB 4-way L1, 2 L2 banks — small enough to hand-check."""
+    return GPUConfig(
+        num_cores=2,
+        max_warps_per_core=8,
+        max_ctas_per_core=2,
+        l1_size=2 * 1024,
+        l1_ways=4,
+        num_partitions=2,
+        l2_bank_size=16 * 1024,
+        l2_ways=4,
+    )
+
+
+@pytest.fixture
+def small_l1() -> Cache:
+    """1 KB 2-way LRU cache: 4 sets of 2 ways."""
+    return Cache("L1", 1024, 2, LINE, LRUPolicy())
+
+
+@pytest.fixture
+def srrip_l1() -> Cache:
+    return Cache("L1", 1024, 2, LINE, SRRIPPolicy(bits=3))
+
+
+def addr(line_index: int) -> int:
+    """Byte address of a line index (test helper)."""
+    return line_index * LINE
+
+
+def single_warp_kernel(program, name: str = "unit") -> KernelTrace:
+    """A kernel with one CTA holding one warp."""
+    return KernelTrace(name=name, ctas=[CTATrace(warps=[list(program)])])
+
+
+def make_kernel(warp_programs, ctas: int = 1, name: str = "unit") -> KernelTrace:
+    """A kernel with `ctas` CTAs, each holding copies of warp_programs."""
+    return KernelTrace(
+        name=name,
+        ctas=[CTATrace(warps=[list(p) for p in warp_programs]) for _ in range(ctas)],
+    )
+
+
+def ld(*line_indices: int):
+    return (OP_LOAD, tuple(addr(i) for i in line_indices))
+
+
+def st(*line_indices: int):
+    return (OP_STORE, tuple(addr(i) for i in line_indices))
+
+
+def alu(n: int):
+    return (OP_ALU, n)
+
+
+def smem(n: int):
+    return (OP_SMEM, n)
+
+
+def bar():
+    return (OP_BAR, 0)

@@ -1,0 +1,50 @@
+"""Unit tests for the partition address map."""
+
+import pytest
+
+from repro.sim.addressing import AddressMap
+
+
+class TestMapping:
+    def test_interleave_chunks(self):
+        amap = AddressMap(num_partitions=8, interleave_lines=16)
+        # All 16 lines of one chunk land in one partition.
+        parts = {amap.partition(line) for line in range(16)}
+        assert len(parts) == 1
+
+    def test_chunks_rotate_partitions(self):
+        amap = AddressMap(num_partitions=8, interleave_lines=16)
+        parts = {amap.partition(chunk * 16) for chunk in range(8)}
+        assert len(parts) == 8
+
+    def test_local_dense(self):
+        amap = AddressMap(num_partitions=8, interleave_lines=16)
+        # Locals of one partition's chunks are consecutive blocks.
+        assert amap.local(0) == 0
+        assert amap.local(15) == 15
+        assert amap.local(8 * 16) == 16  # next chunk group, offset 0
+
+    def test_bijective_roundtrip(self):
+        amap = AddressMap(num_partitions=8, interleave_lines=16)
+        for line in range(0, 4096, 7):
+            part = amap.partition(line)
+            local = amap.local(line)
+            assert amap.globalize(part, local) == line
+
+    def test_no_partition_camping_for_strided_structures(self):
+        # A structure of 8 chunks must spread across many partitions even
+        # if it starts at a chunk-aligned offset (the XOR hash).
+        amap = AddressMap(num_partitions=8, interleave_lines=16)
+        spread = {amap.partition(base + c * 16) for base in (0, 1 << 20) for c in range(8)}
+        assert len(spread) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressMap(num_partitions=6)
+        with pytest.raises(ValueError):
+            AddressMap(num_partitions=8, interleave_lines=3)
+
+    def test_single_partition(self):
+        amap = AddressMap(num_partitions=1, interleave_lines=16)
+        assert amap.partition(12345) == 0
+        assert amap.globalize(0, amap.local(12345)) == 12345

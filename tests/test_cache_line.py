@@ -1,0 +1,59 @@
+"""Unit tests for the cache line (tag entry) model."""
+
+from repro.cache.line import CacheLine
+
+
+class TestCacheLineInit:
+    def test_starts_invalid(self):
+        line = CacheLine()
+        assert not line.valid
+        assert line.tag == -1
+
+    def test_starts_clean(self):
+        line = CacheLine()
+        assert not line.dirty
+        assert line.use_count == 0
+        assert line.victim_bits == 0
+
+
+class TestFill:
+    def test_fill_sets_tag_and_valid(self):
+        line = CacheLine()
+        line.fill(0x42, now=7)
+        assert line.valid
+        assert line.tag == 0x42
+        assert line.fill_time == 7
+        assert line.last_access == 7
+
+    def test_fill_resets_generation_state(self):
+        line = CacheLine()
+        line.fill(1, now=0)
+        line.use_count = 5
+        line.dirty = True
+        line.victim_bits = 0b1010
+        line.fill(2, now=10)
+        assert line.use_count == 0
+        assert not line.dirty
+        assert line.victim_bits == 0
+
+    def test_fill_preserves_rrpv(self):
+        # The replacement policy owns RRPV initialisation; fill() must not
+        # clobber it (on_fill runs after fill()).
+        line = CacheLine()
+        line.rrpv = 6
+        line.fill(1, now=0)
+        assert line.rrpv == 6
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        line = CacheLine()
+        line.fill(9, now=3)
+        line.rrpv = 4
+        line.pd_counter = 2
+        line.reset()
+        assert not line.valid
+        assert line.tag == -1
+        assert line.rrpv == 0
+        assert line.pd_counter == 0
+        assert line.victim_bits == 0

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_suite(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "SPMV" in out
+        assert "designs:" in out
+        assert "gc" in out
+
+
+class TestRun:
+    def test_run_prints_report(self, capsys):
+        rc = main(["run", "--benchmark", "sd1", "--design", "bs", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SD1" in out
+        assert "IPC" in out
+        assert "L1 miss rate" in out
+
+    def test_l1_size_override(self, capsys):
+        rc = main([
+            "run", "--benchmark", "sd1", "--design", "bs",
+            "--scale", "0.05", "--l1-size", "16384",
+        ])
+        assert rc == 0
+        assert "16KB" in capsys.readouterr().out
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--benchmark", "NOPE", "--design", "bs"])
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--benchmark", "SD1", "--design", "magic"])
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        rc = main([
+            "compare", "--benchmark", "sd1",
+            "--designs", "bs,gc", "--scale", "0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "design comparison" in out
+        assert "GC" in out
+        assert "rel. energy" in out
+
+    def test_compare_rejects_unknown_design(self, capsys):
+        rc = main([
+            "compare", "--benchmark", "sd1", "--designs", "bs,magic",
+            "--scale", "0.05",
+        ])
+        assert rc == 2

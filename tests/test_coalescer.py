@@ -1,0 +1,51 @@
+"""Unit tests for the memory-access coalescing unit."""
+
+import pytest
+
+from repro.gpu.coalescer import Coalescer
+
+
+class TestCoalescing:
+    def test_same_line_merges_to_one(self):
+        unit = Coalescer(line_size=128)
+        assert unit.coalesce([0, 4, 64, 127]) == [0]
+
+    def test_distinct_lines_kept(self):
+        unit = Coalescer(line_size=128)
+        assert unit.coalesce([0, 128, 256]) == [0, 1, 2]
+
+    def test_first_lane_order_preserved(self):
+        unit = Coalescer(line_size=128)
+        assert unit.coalesce([256, 0, 300, 128]) == [2, 0, 1]
+
+    def test_fully_coalesced_warp(self):
+        unit = Coalescer(line_size=128)
+        lanes = [i * 4 for i in range(32)]  # 32 x 4B = one line
+        assert unit.coalesce(lanes) == [0]
+
+    def test_fully_divergent_warp(self):
+        unit = Coalescer(line_size=128, max_lanes=32)
+        lanes = [i * 128 for i in range(32)]
+        assert len(unit.coalesce(lanes)) == 32
+
+
+class TestValidation:
+    def test_too_many_lanes(self):
+        unit = Coalescer(max_lanes=4)
+        with pytest.raises(ValueError, match="lanes"):
+            unit.coalesce([0] * 5)
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            Coalescer(line_size=100)
+
+
+class TestStats:
+    def test_average_transactions(self):
+        unit = Coalescer(line_size=128)
+        unit.coalesce([0])
+        unit.coalesce([0, 128, 256])
+        assert unit.average_transactions == pytest.approx(2.0)
+
+    def test_untouched_average_is_zero(self):
+        assert Coalescer().average_transactions == 0.0

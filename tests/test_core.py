@@ -1,0 +1,153 @@
+"""Unit tests for the SIMT core (issue, barriers, CTA residency)."""
+
+import pytest
+
+from repro.gpu.core import SIMTCore
+from repro.sim.designs import make_design
+from repro.sim.memory_system import MemorySystem
+from repro.trace.trace import CTATrace
+
+from conftest import alu, bar, ld, smem, st
+
+
+def make_core(tiny_config, core_id=0):
+    mem = MemorySystem(tiny_config, make_design("bs"))
+    return SIMTCore(core_id, tiny_config, mem), mem
+
+
+def drain(core, limit=100000):
+    """Run the core to completion; returns the finish time."""
+    now = 0
+    while True:
+        nxt = core.step(now)
+        if nxt is None:
+            if core.drained():
+                return now
+            raise AssertionError("core idle but not drained")
+        assert nxt > now, "time must advance"
+        now = nxt
+        if now > limit:
+            raise AssertionError("runaway simulation")
+
+
+class TestResourceChecks:
+    def test_accepts_within_limits(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        cta = CTATrace(warps=[[alu(1)]])
+        assert core.can_accept(cta, scratchpad=0)
+
+    def test_rejects_when_cta_slots_full(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        cta = CTATrace(warps=[[alu(10)]])
+        for _ in range(tiny_config.max_ctas_per_core):
+            core.launch(cta, 0, now=0)
+        assert not core.can_accept(cta, scratchpad=0)
+
+    def test_rejects_on_warp_limit(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        big = CTATrace(warps=[[alu(10)]] * tiny_config.max_warps_per_core)
+        core.launch(big, 0, now=0)
+        assert not core.can_accept(CTATrace(warps=[[alu(1)]]), scratchpad=0)
+
+    def test_rejects_on_scratchpad(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        cta = CTATrace(warps=[[alu(1)]])
+        assert not core.can_accept(cta, scratchpad=tiny_config.scratchpad_bytes + 1)
+
+    def test_launch_past_limit_raises(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        cta = CTATrace(warps=[[alu(10)]])
+        for _ in range(tiny_config.max_ctas_per_core):
+            core.launch(cta, 0, now=0)
+        with pytest.raises(RuntimeError):
+            core.launch(cta, 0, now=0)
+
+
+class TestIssue:
+    def test_alu_group_occupies_issue_slots(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[alu(5)]]), 0, now=0)
+        start = core.step(1)  # issues the group
+        assert start == 1 + 5
+        assert core.instructions == 5
+
+    def test_load_blocks_warp_until_data(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[ld(0), alu(1)]]), 0, now=0)
+        core.step(1)  # issue load
+        warp = core.warps[0]
+        assert warp.ready_time > 1 + tiny_config.l1_hit_latency // 2
+
+    def test_store_does_not_block(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[st(0), alu(1)]]), 0, now=0)
+        core.step(1)
+        warp = core.warps[0]
+        assert warp.ready_time <= 2
+
+    def test_instruction_count_matches_trace(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        program = [alu(3), ld(0), st(1), smem(2)]
+        core.launch(CTATrace(warps=[list(program)]), 0, now=0)
+        drain(core)
+        assert core.instructions == 3 + 1 + 1 + 2
+
+    def test_round_robin_across_warps(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[alu(1)], [alu(1)]]), 0, now=0)
+        core.step(1)
+        core.step(2)
+        assert all(w.pc == 1 for w in core.warps)
+
+
+class TestBarriers:
+    def test_barrier_parks_until_all_arrive(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        program = [alu(1), bar(), alu(1)]
+        core.launch(CTATrace(warps=[list(program), list(program)]), 0, now=0)
+        finish = drain(core)
+        assert core.instructions == 6
+        assert core.drained()
+
+    def test_lone_warp_passes_barrier(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[bar(), alu(1)]]), 0, now=0)
+        drain(core)
+        assert core.drained()
+
+    def test_trailing_barrier_is_noop(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[alu(1), bar()], [alu(2), bar()]]), 0, now=0)
+        drain(core)
+        assert core.drained()
+
+    def test_uneven_warp_lengths_release_barrier(self, tiny_config):
+        # One warp finishes before its sibling reaches the barrier; the
+        # arrival count must compare against *live* warps only.
+        core, _ = make_core(tiny_config)
+        short = [alu(1)]
+        long = [alu(1), bar(), alu(1)]
+        core.launch(CTATrace(warps=[short, long]), 0, now=0)
+        drain(core)
+        assert core.drained()
+
+
+class TestCTACompletion:
+    def test_resources_freed_on_completion(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[alu(1)]]), 1024, now=0)
+        assert core.scratchpad_used == 1024
+        drain(core)
+        assert core.scratchpad_used == 0
+        assert core.resident_ctas == 0
+
+    def test_completed_cta_flag(self, tiny_config):
+        core, _ = make_core(tiny_config)
+        core.launch(CTATrace(warps=[[alu(1)]]), 0, now=0)
+        now = 0
+        while not core.drained():
+            nxt = core.step(now)
+            if core.completed_cta:
+                break
+            now = nxt
+        assert core.completed_cta

@@ -1,0 +1,72 @@
+"""Tests for the crossbar interconnect and its config wiring."""
+
+import pytest
+
+from repro.noc.crossbar import CrossbarNoC
+from repro.sim.config import GPUConfig
+from repro.sim.designs import make_design
+from repro.sim.memory_system import MemorySystem
+from repro.sim.simulator import simulate
+
+from conftest import alu, ld, make_kernel
+
+
+class TestCrossbar:
+    def test_uniform_latency(self):
+        xbar = CrossbarNoC()
+        a = xbar.send_request(0, 0, start=0)
+        b = CrossbarNoC().send_request(15, 7, start=0)
+        assert a == b  # no distance dependence
+
+    def test_output_port_contention(self):
+        xbar = CrossbarNoC()
+        first = xbar.send_response(0, 3, start=0)
+        second = xbar.send_response(1, 3, start=0)  # same destination core
+        assert second > first
+
+    def test_distinct_ports_do_not_contend(self):
+        xbar = CrossbarNoC()
+        a = xbar.send_response(0, 3, start=0)
+        b = xbar.send_response(0, 4, start=0)
+        assert a == b
+
+    def test_data_packets_slower(self):
+        a = CrossbarNoC().send_request(0, 0, start=0)
+        b = CrossbarNoC().send_data_request(0, 0, start=0)
+        assert b >= a
+
+    def test_range_validation(self):
+        xbar = CrossbarNoC(num_cores=2, num_partitions=2)
+        with pytest.raises(ValueError):
+            xbar.send_request(2, 0, start=0)
+        with pytest.raises(ValueError):
+            xbar.send_response(2, 0, start=0)
+
+    def test_accounting(self):
+        xbar = CrossbarNoC()
+        xbar.send_request(0, 0, start=0)
+        assert xbar.packets_sent == 1
+        assert xbar.average_hops == 1.0
+
+
+class TestConfigWiring:
+    def test_crossbar_selected(self, tiny_config):
+        from dataclasses import replace
+
+        config = replace(tiny_config, noc_topology="crossbar")
+        mem = MemorySystem(config, make_design("bs"))
+        assert isinstance(mem.noc, CrossbarNoC)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown NoC topology"):
+            GPUConfig(noc_topology="torus")
+
+    def test_end_to_end_run(self, tiny_config):
+        from dataclasses import replace
+
+        config = replace(tiny_config, noc_topology="crossbar")
+        kernel = make_kernel(
+            [[op for i in range(4) for op in (ld(i * 8), alu(2))]], ctas=4
+        )
+        result = simulate(kernel, config, make_design("gc"))
+        assert result.instructions == kernel.instruction_count()

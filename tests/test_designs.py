@@ -1,0 +1,72 @@
+"""Tests for the design registry."""
+
+import pytest
+
+from repro.cache.policies.base import NullManagementPolicy
+from repro.cache.policies.pdp import DynamicPDPPolicy, StaticPDPPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.core.gcache import GCacheConfig, GCachePolicy
+from repro.sim.designs import DESIGN_KEYS, make_design
+
+
+class TestRegistry:
+    def test_baseline(self):
+        spec = make_design("bs")
+        assert isinstance(spec.make_l1_replacement(), LRUPolicy)
+        assert isinstance(spec.make_l1_mgmt(), NullManagementPolicy)
+        assert not spec.uses_victim_bits
+
+    def test_srrip_baseline(self):
+        spec = make_design("bs-s")
+        repl = spec.make_l1_replacement()
+        assert isinstance(repl, SRRIPPolicy)
+        assert repl.bits == 3
+
+    @pytest.mark.parametrize("key,bits", [("pdp-3", 3), ("pdp-8", 8)])
+    def test_dynamic_pdp(self, key, bits):
+        mgmt = make_design(key).make_l1_mgmt()
+        assert isinstance(mgmt, DynamicPDPPolicy)
+        assert mgmt.counter_bits == bits
+
+    def test_spdp_b_requires_pd(self):
+        with pytest.raises(ValueError, match="protecting distance"):
+            make_design("spdp-b")
+        mgmt = make_design("spdp-b", pd=16).make_l1_mgmt()
+        assert isinstance(mgmt, StaticPDPPolicy)
+        assert mgmt.pd == 16
+        assert mgmt.bypass
+
+    def test_gcache(self):
+        spec = make_design("gc")
+        assert spec.uses_victim_bits
+        assert isinstance(spec.make_l1_mgmt(), GCachePolicy)
+
+    def test_gcache_adaptive_m(self):
+        mgmt = make_design("gc-m").make_l1_mgmt()
+        assert mgmt.config.adaptive_aging
+
+    def test_gcache_custom_config_respected(self):
+        cfg = GCacheConfig(shutdown_interval=123)
+        mgmt = make_design("gc", gcache_config=cfg).make_l1_mgmt()
+        assert mgmt.config.shutdown_interval == 123
+
+    def test_gc_m_inherits_base_config(self):
+        cfg = GCacheConfig(shutdown_interval=123)
+        mgmt = make_design("gc-m", gcache_config=cfg).make_l1_mgmt()
+        assert mgmt.config.shutdown_interval == 123
+        assert mgmt.config.adaptive_aging
+
+    def test_factories_produce_fresh_instances(self):
+        spec = make_design("gc")
+        assert spec.make_l1_mgmt() is not spec.make_l1_mgmt()
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            make_design("ideal")
+
+    def test_all_keys_buildable(self):
+        for key in DESIGN_KEYS:
+            spec = make_design(key, pd=8)
+            assert spec.key == key
+            assert spec.label

@@ -1,0 +1,124 @@
+"""Unit tests for the GDDR5 DRAM model."""
+
+import pytest
+
+from repro.dram.bank import DRAMBank
+from repro.dram.controller import MemoryController
+from repro.dram.timing import GDDR5Timing
+
+
+class TestTiming:
+    def test_paper_defaults(self):
+        t = GDDR5Timing()
+        assert (t.tCL, t.tRP, t.tRC, t.tRAS, t.tRCD, t.tRRD) == (12, 12, 40, 28, 12, 6)
+        assert t.row_size == 2048
+
+    def test_latencies(self):
+        t = GDDR5Timing()
+        assert t.row_hit_latency == 12
+        assert t.row_miss_latency == 12 + 12 + 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GDDR5Timing(tCL=-1)
+        with pytest.raises(ValueError):
+            GDDR5Timing(row_size=1000)
+        with pytest.raises(ValueError):
+            GDDR5Timing(tRC=10, tRAS=28)
+
+
+class TestBank:
+    def test_first_access_is_row_miss(self):
+        bank = DRAMBank(GDDR5Timing())
+        done = bank.service(arrival=0, row=5)
+        assert bank.row_misses == 1
+        assert done == GDDR5Timing().row_miss_latency
+
+    def test_second_access_same_row_hits(self):
+        t = GDDR5Timing()
+        bank = DRAMBank(t)
+        first = bank.service(arrival=0, row=5)
+        second = bank.service(arrival=first, row=5)
+        assert bank.row_hits == 1
+        assert second - first <= t.row_miss_latency
+
+    def test_trc_separates_activates(self):
+        t = GDDR5Timing()
+        bank = DRAMBank(t, row_window=1)
+        bank.service(arrival=0, row=1)
+        first_activate = bank.last_activate
+        bank.service(arrival=0, row=2)
+        assert bank.last_activate - first_activate >= t.tRC
+
+    def test_row_window_keeps_recent_rows_open(self):
+        bank = DRAMBank(GDDR5Timing(), row_window=2)
+        bank.service(arrival=0, row=1)
+        bank.service(arrival=100, row=2)
+        bank.service(arrival=200, row=1)  # still in window
+        assert bank.row_hits == 1
+
+    def test_row_window_evicts_lru_row(self):
+        bank = DRAMBank(GDDR5Timing(), row_window=2)
+        bank.service(arrival=0, row=1)
+        bank.service(arrival=100, row=2)
+        bank.service(arrival=200, row=3)  # evicts row 1
+        bank.service(arrival=300, row=1)
+        assert bank.row_hits == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DRAMBank(GDDR5Timing(), row_window=0)
+
+    def test_rrd_gate_defers_activate(self):
+        t = GDDR5Timing()
+        bank = DRAMBank(t)
+        bank.service(arrival=0, row=1, rrd_gate=500)
+        assert bank.last_activate >= 500
+
+
+class TestController:
+    def test_address_mapping(self):
+        mc = MemoryController(0, GDDR5Timing(), num_banks=4, line_size=128)
+        bank, row = mc.map(0)
+        assert (bank, row) == (0, 0)
+        bank, row = mc.map(5)
+        assert bank == 1
+        # 16 lines per row; addresses 0..63 with 4 banks span row 0.
+        assert mc.map(63) == (3, 0)
+        assert mc.map(64) == (0, 1)
+
+    def test_reads_and_writes_counted(self):
+        mc = MemoryController(0, GDDR5Timing())
+        mc.request(0, now=0)
+        mc.request(1, now=0, is_write=True)
+        assert mc.reads == 1
+        assert mc.writes == 1
+        assert mc.total_requests == 2
+
+    def test_sequential_stream_hits_rows(self):
+        mc = MemoryController(0, GDDR5Timing(), num_banks=4)
+        now = 0
+        for line in range(64):  # one full row per bank
+            now = mc.request(line, now)
+        assert mc.row_hit_rate > 0.85
+
+    def test_bus_serializes_bursts(self):
+        t = GDDR5Timing()
+        mc = MemoryController(0, t, num_banks=4)
+        # Two requests to different banks, same instant: second waits for
+        # the shared data bus.
+        a = mc.request(0, now=0)
+        b = mc.request(1, now=0)
+        assert b >= a + t.burst_cycles
+
+    def test_write_completes_at_bus_accept(self):
+        mc = MemoryController(0, GDDR5Timing())
+        read_done = MemoryController(1, GDDR5Timing()).request(0, now=0)
+        write_done = mc.request(0, now=0, is_write=True)
+        assert write_done < read_done
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            MemoryController(0, GDDR5Timing(), num_banks=0)
+        with pytest.raises(ValueError):
+            MemoryController(0, GDDR5Timing(row_size=2048), line_size=3000)

@@ -1,0 +1,71 @@
+"""Tests for the memory-system energy model."""
+
+import pytest
+
+from repro.sim.designs import make_design
+from repro.sim.simulator import simulate
+from repro.stats.energy import EnergyBreakdown, EnergyModel
+
+from conftest import alu, ld, make_kernel
+
+
+@pytest.fixture
+def run(tiny_config):
+    kernel = make_kernel([[ld(i * 8), alu(2)] for i in [0]] * 1 or None, ctas=1)
+    return simulate(kernel, tiny_config, make_design("bs"))
+
+
+def small_run(tiny_config, design="bs"):
+    kernel = make_kernel(
+        [[op for i in range(6) for op in (ld(i * 8), alu(2))]], ctas=4
+    )
+    return simulate(kernel, tiny_config, make_design(design))
+
+
+class TestEnergyModel:
+    def test_components_positive(self, tiny_config):
+        result = small_run(tiny_config)
+        energy = EnergyModel().evaluate(result)
+        assert energy.l1_pj > 0
+        assert energy.l2_pj > 0
+        assert energy.dram_pj > 0
+        assert energy.static_pj > 0
+        assert energy.total_pj == pytest.approx(
+            energy.l1_pj + energy.l2_pj + energy.noc_pj
+            + energy.dram_pj + energy.static_pj
+        )
+
+    def test_dynamic_excludes_static(self, tiny_config):
+        energy = EnergyModel().evaluate(small_run(tiny_config))
+        assert energy.dynamic_pj == pytest.approx(energy.total_pj - energy.static_pj)
+
+    def test_pj_per_instruction(self, tiny_config):
+        result = small_run(tiny_config)
+        energy = EnergyModel().evaluate(result)
+        assert energy.pj_per_instruction == pytest.approx(
+            energy.total_pj / result.instructions
+        )
+
+    def test_relative_comparison(self, tiny_config):
+        base = EnergyModel().evaluate(small_run(tiny_config))
+        same = EnergyModel().evaluate(small_run(tiny_config))
+        assert same.relative_to(base) == pytest.approx(1.0)
+
+    def test_relative_to_zero_rejected(self):
+        zero = EnergyBreakdown(0, 0, 0, 0, 0, instructions=0)
+        other = EnergyBreakdown(1, 1, 1, 1, 1, instructions=1)
+        with pytest.raises(ZeroDivisionError):
+            other.relative_to(zero)
+
+    def test_as_dict_keys(self, tiny_config):
+        energy = EnergyModel().evaluate(small_run(tiny_config))
+        d = energy.as_dict()
+        assert set(d) >= {"l1_pj", "l2_pj", "dram_pj", "total_pj"}
+
+    def test_uses_recorded_hops(self, tiny_config):
+        result = small_run(tiny_config)
+        result.extras["noc_avg_hops"] = 10.0
+        high = EnergyModel().evaluate(result)
+        result.extras["noc_avg_hops"] = 1.0
+        low = EnergyModel().evaluate(result)
+        assert high.noc_pj > low.noc_pj

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale.
+
+Examples are the documentation users actually execute; these tests keep
+them green against API changes.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_bypass_anatomy(self):
+        out = run_example("bypass_anatomy.py")
+        assert "BYPASSED" in out
+        assert "contention" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--scale", "0.05", "--benchmark", "SD1")
+        assert "speedup over baseline" in out
+        assert "L1 miss rate" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py", "--scale", "0.1", "--table-lines", "64")
+        assert "HIST" in out
+        assert "GC" in out
+
+    def test_convergence_watch(self):
+        out = run_example("convergence_watch.py", "--benchmark", "SD1", "--scale", "0.05")
+        assert "miss rate" in out
+
+    def test_policy_comparison(self):
+        out = run_example("policy_comparison.py", "--benchmark", "SD1", "--scale", "0.05")
+        assert "SPDP-B" in out
+        assert "design" in out
+
+    def test_design_space(self):
+        out = run_example("design_space.py", "--benchmark", "SD1", "--scale", "0.05")
+        assert "ipc sweep" in out
+        assert "storage overhead" in out

@@ -1,0 +1,122 @@
+"""Unit tests for the generator framework (base helpers)."""
+
+import pytest
+
+from repro.trace.generators.base import (
+    BenchmarkGenerator,
+    LINE,
+    RegionAllocator,
+    TraceParams,
+    alu,
+    bar,
+    load,
+    smem,
+    store,
+)
+from repro.trace.trace import OP_ALU, OP_BAR, OP_LOAD, OP_SMEM, OP_STORE
+
+
+class MiniGenerator(BenchmarkGenerator):
+    name = "MINI"
+    sensitivity = "insensitive"
+    suite = "test"
+    base_ctas = 8
+
+    def __init__(self, params=TraceParams()):
+        super().__init__(params)
+        self.base = self.regions.region()
+
+    def warp_program(self, cta_id, warp_id):
+        return [load(self.stream_addr(self.base, cta_id, warp_id, 0, 1)), alu(1)]
+
+
+class TestTraceParams:
+    def test_scaled_rounding_and_floor(self):
+        assert TraceParams(scale=0.5).scaled(96) == 48
+        assert TraceParams(scale=0.01).scaled(96) == 8  # floor
+        assert TraceParams(scale=2.0).scaled(96) == 192
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TraceParams().scale = 2.0
+
+
+class TestRegionAllocator:
+    def test_regions_disjoint_and_aligned(self):
+        alloc = RegionAllocator()
+        a, b = alloc.region(), alloc.region()
+        assert b - a == RegionAllocator.REGION_BYTES
+        assert a % RegionAllocator.REGION_BYTES == 0
+        assert a > 0  # region 0 reserved
+
+
+class TestInstructionConstructors:
+    def test_opcodes(self):
+        assert alu(3) == (OP_ALU, 3)
+        assert smem(2) == (OP_SMEM, 2)
+        assert bar() == (OP_BAR, 0)
+        assert load(1, 2)[0] == OP_LOAD
+        assert store(1)[0] == OP_STORE
+        assert load(1, 2)[1] == (1, 2)
+
+
+class TestStreamAddr:
+    def test_cta_warps_adjacent_within_iteration(self):
+        gen = MiniGenerator()
+        a0 = gen.stream_addr(gen.base, cta_id=0, warp_id=0, iteration=0, iters_per_warp=4)
+        a1 = gen.stream_addr(gen.base, cta_id=0, warp_id=1, iteration=0, iters_per_warp=4)
+        assert a1 - a0 == LINE
+
+    def test_iterations_advance_by_cta_width(self):
+        gen = MiniGenerator(TraceParams(warps_per_cta=8))
+        a = gen.stream_addr(gen.base, 0, 0, 0, 4)
+        b = gen.stream_addr(gen.base, 0, 0, 1, 4)
+        assert b - a == 8 * LINE
+
+    def test_cta_blocks_disjoint(self):
+        gen = MiniGenerator(TraceParams(warps_per_cta=8))
+        last_of_cta0 = gen.stream_addr(gen.base, 0, 7, 3, 4)
+        first_of_cta1 = gen.stream_addr(gen.base, 1, 0, 0, 4)
+        assert first_of_cta1 == last_of_cta0 + LINE
+
+
+class TestSkewedIndex:
+    def test_uniform_at_skew_one(self):
+        import random
+
+        rng = random.Random(0)
+        samples = [BenchmarkGenerator.skewed_index(rng, 100, 1.0) for _ in range(5000)]
+        assert min(samples) == 0
+        assert max(samples) == 99
+        assert 40 < sum(s < 50 for s in samples) / 50 < 60  # ~uniform
+
+    def test_skew_concentrates_head(self):
+        import random
+
+        rng = random.Random(0)
+        skewed = [BenchmarkGenerator.skewed_index(rng, 100, 5.0) for _ in range(5000)]
+        head = sum(s < 10 for s in skewed) / len(skewed)
+        assert head > 0.5
+
+    def test_bounds(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0 <= BenchmarkGenerator.skewed_index(rng, 7, 3.0) < 7
+
+
+class TestPerWarpRNG:
+    def test_stable_across_instances(self):
+        a = MiniGenerator().rng_for(3, 5).random()
+        b = MiniGenerator().rng_for(3, 5).random()
+        assert a == b
+
+    def test_distinct_across_warps(self):
+        gen = MiniGenerator()
+        assert gen.rng_for(0, 0).random() != gen.rng_for(0, 1).random()
+
+    def test_seed_changes_streams(self):
+        a = MiniGenerator(TraceParams(seed=0)).rng_for(0, 0).random()
+        b = MiniGenerator(TraceParams(seed=1)).rng_for(0, 0).random()
+        assert a != b

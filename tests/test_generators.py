@@ -1,0 +1,155 @@
+"""Tests for the synthetic benchmark generators (Table 1 suite)."""
+
+import pytest
+
+from repro.trace.generators.base import RegionAllocator, TraceParams
+from repro.trace.suite import (
+    ALL_BENCHMARKS,
+    CACHE_INSENSITIVE,
+    CACHE_SENSITIVE,
+    GENERATORS,
+    MODERATELY_SENSITIVE,
+    build_benchmark,
+    sensitivity_of,
+)
+from repro.trace.trace import OP_ATOM, OP_LOAD, OP_SMEM, OP_STORE
+
+SMALL = dict(scale=0.1, seed=0)
+
+
+class TestSuiteRegistry:
+    def test_all_seventeen_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 17
+
+    def test_groups_partition_the_suite(self):
+        combined = CACHE_SENSITIVE + MODERATELY_SENSITIVE + CACHE_INSENSITIVE
+        assert sorted(combined) == sorted(ALL_BENCHMARKS)
+        assert len(CACHE_SENSITIVE) == 8
+        assert len(MODERATELY_SENSITIVE) == 4
+        assert len(CACHE_INSENSITIVE) == 5
+
+    def test_sensitivity_lookup(self):
+        assert sensitivity_of("BFS") == "sensitive"
+        assert sensitivity_of("nw") == "moderate"
+        assert sensitivity_of("FWT") == "insensitive"
+
+    def test_class_attributes_match_groups(self):
+        for name, cls in GENERATORS.items():
+            expected = (
+                "sensitive" if name in CACHE_SENSITIVE
+                else "moderate" if name in MODERATELY_SENSITIVE
+                else "insensitive"
+            )
+            assert cls.sensitivity == expected, name
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_benchmark("QUAKE")
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestEveryGenerator:
+    def test_builds_valid_trace(self, name):
+        trace = build_benchmark(name, **SMALL)
+        trace.validate()  # raises on malformed traces
+        assert trace.name == name
+        assert trace.num_ctas >= 8
+
+    def test_deterministic(self, name):
+        a = build_benchmark(name, **SMALL)
+        b = build_benchmark(name, **SMALL)
+        assert a.ctas[0].warps[0] == b.ctas[0].warps[0]
+        assert a.instruction_count() == b.instruction_count()
+
+    def test_seed_changes_random_patterns(self, name):
+        a = build_benchmark(name, scale=0.1, seed=0)
+        b = build_benchmark(name, scale=0.1, seed=99)
+        # Structure is fixed; only irregular address choices may differ.
+        assert a.instruction_count() == b.instruction_count()
+
+    def test_has_memory_traffic(self, name):
+        trace = build_benchmark(name, **SMALL)
+        assert trace.memory_access_count() > 0
+
+    def test_metadata(self, name):
+        trace = build_benchmark(name, **SMALL)
+        assert trace.meta["sensitivity"] in ("sensitive", "moderate", "insensitive")
+        assert trace.meta["suite"]
+
+    def test_scale_controls_volume(self, name):
+        small = build_benchmark(name, scale=0.1)
+        large = build_benchmark(name, scale=0.3)
+        assert large.num_ctas > small.num_ctas
+
+
+class TestRegionDisjointness:
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_loads_fit_named_regions(self, name):
+        # Every address must fall inside an allocated 1 GiB region: a
+        # wild address would silently alias another data structure.
+        trace = build_benchmark(name, **SMALL)
+        gen = GENERATORS[name](TraceParams(scale=0.1))
+        regions_used = gen.regions._next
+        hi = regions_used * RegionAllocator.REGION_BYTES
+        for cta in trace.ctas[:4]:
+            for warp in cta.warps:
+                for op, arg in warp:
+                    if op in (OP_LOAD, OP_STORE, OP_ATOM):
+                        for address in arg:
+                            assert RegionAllocator.REGION_BYTES <= address < hi
+
+
+class TestPatternShapes:
+    def test_spmv_mixes_stream_and_gather(self):
+        trace = build_benchmark("SPMV", **SMALL)
+        warp = trace.ctas[0].warps[0]
+        lane_counts = {len(arg) for op, arg in warp if op == OP_LOAD}
+        assert 1 in lane_counts          # coalesced matrix stream
+        assert any(c > 1 for c in lane_counts)  # divergent gathers
+
+    def test_sd1_is_pure_streaming(self):
+        trace = build_benchmark("SD1", **SMALL)
+        seen = set()
+        for warp in trace.iter_warp_programs():
+            for op, arg in warp:
+                if op == OP_LOAD:
+                    assert arg[0] not in seen  # never re-read
+                    seen.add(arg[0])
+
+    def test_kmn_scans_shared_centroids(self):
+        trace = build_benchmark("KMN", **SMALL)
+        def cta_loads(cta):
+            return {
+                a
+                for warp in cta.warps
+                for op, arg in warp
+                if op == OP_LOAD
+                for a in arg
+            }
+
+        w0 = cta_loads(trace.ctas[0])
+        w1 = cta_loads(trace.ctas[1])
+        assert w0 & w1  # centroid lines shared across CTAs
+
+    def test_pvc_uses_atomics(self):
+        trace = build_benchmark("PVC", **SMALL)
+        ops = {op for warp in trace.iter_warp_programs() for op, _ in warp}
+        assert OP_ATOM in ops
+
+    def test_bp_uses_scratchpad(self):
+        trace = build_benchmark("BP", **SMALL)
+        ops = {op for warp in trace.iter_warp_programs() for op, _ in warp}
+        assert OP_SMEM in ops
+        assert trace.scratchpad_per_cta > 0
+
+    def test_nw_has_low_parallelism(self):
+        nw = build_benchmark("NW", scale=1.0)
+        bfs = build_benchmark("BFS", scale=1.0)
+        assert nw.num_ctas < bfs.num_ctas
+
+    def test_fwt_reuses_within_warp_only(self):
+        trace = build_benchmark("FWT", **SMALL)
+        for warp in list(trace.iter_warp_programs())[:8]:
+            loads = [arg[0] for op, arg in warp if op == OP_LOAD]
+            stores = [arg[0] for op, arg in warp if op == OP_STORE]
+            assert set(stores) <= set(loads)

@@ -1,0 +1,61 @@
+"""Cross-cutting integration tests: full-suite invariants at small scale.
+
+These exercise the whole stack (generators -> simulator -> stats) for
+every benchmark, checking properties any run must satisfy regardless of
+calibration: instruction conservation, statistic sanity, design safety.
+"""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+from repro.sim.designs import make_design
+from repro.sim.simulator import simulate
+from repro.trace.suite import ALL_BENCHMARKS, build_benchmark
+
+SMALL_CONFIG = GPUConfig()
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def baseline_runs():
+    runs = {}
+    for name in ALL_BENCHMARKS:
+        trace = build_benchmark(name, scale=SCALE)
+        runs[name] = (trace, simulate(trace, SMALL_CONFIG, make_design("bs")))
+    return runs
+
+
+class TestSuiteWideInvariants:
+    def test_instruction_conservation(self, baseline_runs):
+        for name, (trace, result) in baseline_runs.items():
+            assert result.instructions == trace.instruction_count(), name
+
+    def test_ipc_positive_and_bounded(self, baseline_runs):
+        for name, (_, result) in baseline_runs.items():
+            assert 0 < result.ipc <= SMALL_CONFIG.num_cores, name
+
+    def test_l1_stats_sane(self, baseline_runs):
+        for name, (_, result) in baseline_runs.items():
+            assert 0.0 <= result.l1.miss_rate <= 1.0, name
+            assert result.l1.bypasses == 0, f"{name}: baseline never bypasses"
+
+    def test_memory_traffic_flows_downhill(self, baseline_runs):
+        for name, (_, result) in baseline_runs.items():
+            # The L2 sees at most the L1's misses plus stores/atomics.
+            assert result.l2.accesses <= result.l1.misses + result.l1.stores + \
+                result.instructions, name
+
+    def test_dram_row_hit_rate_valid(self, baseline_runs):
+        for name, (_, result) in baseline_runs.items():
+            assert 0.0 <= result.dram_row_hit_rate <= 1.0, name
+
+
+class TestGCacheSafety:
+    """G-Cache must never corrupt a run, whatever the workload."""
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_gc_completes_every_benchmark(self, name):
+        trace = build_benchmark(name, scale=SCALE)
+        result = simulate(trace, SMALL_CONFIG, make_design("gc"))
+        assert result.instructions == trace.instruction_count()
+        assert result.l1.fills + result.l1.bypasses <= result.l1.misses

@@ -1,0 +1,150 @@
+"""Integration tests for the memory system (L1 -> NoC -> L2 -> DRAM)."""
+
+import pytest
+
+from repro.sim.designs import make_design
+from repro.sim.memory_system import MemorySystem
+
+
+def mem_for(config, design_key="bs", sv=1):
+    return MemorySystem(config, make_design(design_key), victim_share_factor=sv)
+
+
+class TestLoadPath:
+    def test_cold_load_reaches_dram(self, tiny_config):
+        mem = mem_for(tiny_config)
+        done = mem.load(0, line_addr=0, now=0)
+        assert done > tiny_config.l2_hit_latency
+        assert mem.dram_requests == 1
+        assert mem.l1s[0].stats.loads == 1
+
+    def test_l1_hit_is_fast(self, tiny_config):
+        mem = mem_for(tiny_config)
+        first = mem.load(0, 0, now=0)
+        second = mem.load(0, 0, now=first + 1)
+        assert second - (first + 1) == tiny_config.l1_hit_latency
+
+    def test_l2_hit_cheaper_than_dram(self, tiny_config):
+        mem = mem_for(tiny_config)
+        t1 = mem.load(0, 0, now=0)          # cold: DRAM
+        mem.l1s[0].invalidate(0)
+        t2_start = t1 + 1
+        t2 = mem.load(0, 0, now=t2_start)   # L1 miss, L2 hit
+        assert (t2 - t2_start) < (t1 - 0)
+
+    def test_mshr_merge_returns_fill_time(self, tiny_config):
+        mem = mem_for(tiny_config)
+        done = mem.load(0, 0, now=0)
+        merged = mem.load(0, 0, now=5)  # while in flight
+        assert merged == done
+        assert mem.l1s[0].stats.mshr_merges == 1
+        # A merge must not generate new L2 traffic.
+        assert mem.l2_stats().accesses == 1
+
+    def test_per_core_l1s_private(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.load(0, 0, now=0)
+        assert mem.l1s[1].stats.loads == 0
+        # Core 1 misses in its own L1 but hits the shared L2.
+        mem.load(1, 0, now=5000)
+        assert mem.l2_stats().hits >= 1
+
+    def test_load_latency_accounting(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.load(0, 0, now=0)
+        assert mem.average_load_latency > 0
+        assert mem.load_count == 1
+
+
+class TestStorePath:
+    def test_store_is_write_through(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.store(0, 0, now=0)
+        # No L1 allocation on a store miss.
+        assert not mem.l1s[0].probe(0)
+        assert mem.l2_stats().stores == 1
+
+    def test_write_validate_skips_dram_fetch(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.store(0, 0, now=0)
+        assert mem.dram_requests == 0  # fetch skipped; writeback later
+
+    def test_store_hit_updates_l1(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.load(0, 0, now=0)
+        mem.store(0, 0, now=10_000)
+        assert mem.l1s[0].stats.store_hits == 1
+
+
+class TestAtomicPath:
+    def test_atomic_bypasses_l1(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.atomic(0, 0, now=0)
+        assert not mem.l1s[0].probe(0)
+        assert mem.l2_stats().accesses == 1
+
+    def test_aou_serializes(self, tiny_config):
+        mem = mem_for(tiny_config)
+        part = mem.partition_of(0)
+        mem.atomic(0, 0, now=0)
+        first_free = mem._aou_free[part]
+        mem.atomic(1, 0, now=0)
+        # The second RMW is queued behind the first at the AOU.
+        assert mem._aou_free[part] >= first_free + tiny_config.aou_occupancy
+
+
+class TestVictimHintPlumbing:
+    def test_hint_flows_end_to_end(self, tiny_config):
+        mem = mem_for(tiny_config, "gc")
+        done = mem.load(0, 0, now=0)
+        # Evict from L1 and re-request: the L2 must flag contention and
+        # the L1's bypass switch must come on for the target set.
+        mem.l1s[0].invalidate(0)
+        mem.load(0, 0, now=done + 1)
+        assert mem.victim_dir.contentions_detected == 1
+        policy = mem.l1s[0].mgmt
+        set_index = mem.l1s[0].set_index(0)
+        assert policy.switches.is_on(set_index)
+
+    def test_no_directory_for_baseline(self, tiny_config):
+        assert mem_for(tiny_config, "bs").victim_dir is None
+
+    def test_different_core_no_false_hint(self, tiny_config):
+        mem = mem_for(tiny_config, "gc")
+        done = mem.load(0, 0, now=0)
+        mem.load(1, 0, now=done + 1)
+        assert mem.victim_dir.contentions_detected == 0
+
+    def test_shared_victim_bits_cross_core_hint(self, tiny_config):
+        mem = mem_for(tiny_config, "gc", sv=tiny_config.num_cores)
+        done = mem.load(0, 0, now=0)
+        mem.load(1, 0, now=done + 1)
+        assert mem.victim_dir.contentions_detected == 1
+
+
+class TestStats:
+    def test_l1_stats_merge_all_cores(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.load(0, 0, now=0)
+        mem.load(1, 1, now=0)
+        assert mem.l1_stats().loads == 2
+
+    def test_finalize_closes_generations(self, tiny_config):
+        mem = mem_for(tiny_config)
+        mem.load(0, 0, now=0)
+        mem.finalize()
+        assert mem.l1_stats().reuse.generations >= 1
+
+    def test_dram_row_hit_rate_range(self, tiny_config):
+        mem = mem_for(tiny_config)
+        for i in range(32):
+            mem.load(0, i, now=i * 2000)
+        assert 0.0 <= mem.dram_row_hit_rate <= 1.0
+
+
+class TestAtomicWriteValidate:
+    def test_atomic_miss_fetches_from_dram(self, tiny_config):
+        # Read-modify-write cannot write-validate: the old value is needed.
+        mem = mem_for(tiny_config)
+        mem.atomic(0, 0, now=0)
+        assert mem.dram_requests == 1

@@ -1,0 +1,101 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+class TestAllocate:
+    def test_allocate_and_lookup(self):
+        mshr = MSHRFile(entries=4)
+        entry = mshr.allocate(0x10, ready_time=100)
+        assert mshr.lookup(0x10) is entry
+        assert len(mshr) == 1
+
+    def test_duplicate_allocation_rejected(self):
+        mshr = MSHRFile(entries=4)
+        mshr.allocate(0x10, ready_time=100)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            mshr.allocate(0x10, ready_time=200)
+
+    def test_allocate_on_full_raises(self):
+        mshr = MSHRFile(entries=1)
+        mshr.allocate(1, ready_time=10)
+        with pytest.raises(RuntimeError, match="full"):
+            mshr.allocate(2, ready_time=10)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MSHRFile(entries=0)
+        with pytest.raises(ValueError):
+            MSHRFile(entries=4, max_merges=0)
+
+
+class TestExpiry:
+    def test_expire_removes_completed(self):
+        mshr = MSHRFile(entries=4)
+        mshr.allocate(1, ready_time=10)
+        mshr.allocate(2, ready_time=20)
+        mshr.expire(now=15)
+        assert mshr.lookup(1) is None
+        assert mshr.lookup(2) is not None
+
+    def test_expire_boundary_inclusive(self):
+        mshr = MSHRFile(entries=4)
+        mshr.allocate(1, ready_time=10)
+        mshr.expire(now=10)
+        assert mshr.lookup(1) is None
+
+    def test_earliest_free(self):
+        mshr = MSHRFile(entries=4)
+        mshr.allocate(1, ready_time=50)
+        mshr.allocate(2, ready_time=30)
+        assert mshr.earliest_free() == 30
+
+    def test_earliest_free_empty(self):
+        assert MSHRFile().earliest_free() == 0
+
+
+class TestMerging:
+    def test_merge_counts(self):
+        mshr = MSHRFile(entries=4, max_merges=3)
+        entry = mshr.allocate(1, ready_time=10)
+        assert mshr.merge(entry)
+        assert mshr.merge(entry)
+        assert entry.merges == 2
+        assert mshr.total_merges == 2
+
+    def test_merge_capacity_exhausted(self):
+        mshr = MSHRFile(entries=4, max_merges=2)
+        entry = mshr.allocate(1, ready_time=10)
+        assert mshr.merge(entry)        # 1 + original = 2 = capacity
+        assert not mshr.merge(entry)
+
+
+class TestOccupancyStats:
+    def test_peak_occupancy(self):
+        mshr = MSHRFile(entries=4)
+        mshr.allocate(1, ready_time=5)
+        mshr.allocate(2, ready_time=5)
+        mshr.expire(now=10)
+        mshr.allocate(3, ready_time=20)
+        assert mshr.peak_occupancy == 2
+        assert mshr.total_allocations == 3
+
+    def test_full_flag(self):
+        mshr = MSHRFile(entries=2)
+        assert not mshr.full
+        mshr.allocate(1, ready_time=5)
+        mshr.allocate(2, ready_time=5)
+        assert mshr.full
+
+    def test_reset(self):
+        mshr = MSHRFile(entries=2)
+        mshr.allocate(1, ready_time=5)
+        mshr.reset()
+        assert len(mshr) == 0
+
+    def test_bypassed_flag_recorded(self):
+        mshr = MSHRFile(entries=2)
+        entry = mshr.allocate(1, ready_time=5, bypassed=True)
+        assert entry.bypassed

@@ -1,0 +1,82 @@
+"""Unit tests for the 2D-mesh interconnect model."""
+
+import pytest
+
+from repro.noc.mesh import MeshNoC
+
+
+class TestTopology:
+    def test_grid_covers_all_nodes(self):
+        noc = MeshNoC(num_cores=16, num_partitions=8)
+        assert noc.rows * noc.cols >= noc.num_nodes
+
+    def test_node_mapping(self):
+        noc = MeshNoC(num_cores=4, num_partitions=2)
+        assert noc.core_node(0) == 0
+        assert noc.partition_node(0) == 4
+
+    def test_node_range_validated(self):
+        noc = MeshNoC(num_cores=4, num_partitions=2)
+        with pytest.raises(ValueError):
+            noc.core_node(4)
+        with pytest.raises(ValueError):
+            noc.partition_node(2)
+
+    def test_hops_manhattan(self):
+        noc = MeshNoC(num_cores=4, num_partitions=2)  # grid 3x2 or so
+        assert noc.hops(0, 0) == 0
+        # Adjacent nodes in the same row are one hop apart.
+        assert noc.hops(0, 1) == 1
+
+
+class TestTiming:
+    def test_self_send_is_free(self):
+        noc = MeshNoC()
+        assert noc.send(0, 0, start=5, flits=4) == 5
+
+    def test_latency_grows_with_distance(self):
+        noc = MeshNoC(num_cores=16, num_partitions=8)
+        near = noc.send(0, 1, start=0, flits=1)
+        noc2 = MeshNoC(num_cores=16, num_partitions=8)
+        far = noc2.send(0, 23, start=0, flits=1)
+        assert far > near
+
+    def test_data_packets_slower_than_ctrl(self):
+        a = MeshNoC()
+        b = MeshNoC()
+        ctrl = a.send_request(0, 7, start=0)
+        data = b.send_response(7, 0, start=0)
+        assert data >= ctrl
+
+    def test_link_contention_delays_second_packet(self):
+        noc = MeshNoC()
+        first = noc.send(0, 1, start=0, flits=8)
+        second = noc.send(0, 1, start=0, flits=8)
+        assert second > first
+
+    def test_contention_clears_over_time(self):
+        noc = MeshNoC()
+        noc.send(0, 1, start=0, flits=4)
+        later = noc.send(0, 1, start=1000, flits=4)
+        baseline = MeshNoC().send(0, 1, start=1000, flits=4)
+        assert later == baseline
+
+
+class TestAccounting:
+    def test_packet_and_hop_counts(self):
+        noc = MeshNoC()
+        noc.send(0, 1, start=0, flits=1)
+        assert noc.packets_sent == 1
+        assert noc.total_hops == noc.hops(0, 1)
+        assert noc.average_hops == pytest.approx(noc.hops(0, 1))
+
+    def test_flit_sizing(self):
+        noc = MeshNoC(channel_width=32, ctrl_size=8, data_size=128)
+        assert noc.ctrl_flits == 1
+        assert noc.data_flits == 5  # (128+8)/32 rounded up
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshNoC(num_cores=0)
+        with pytest.raises(ValueError):
+            MeshNoC(channel_width=0)

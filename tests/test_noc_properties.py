@@ -1,0 +1,99 @@
+"""Property-based tests for the interconnect and DRAM timing models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.controller import MemoryController
+from repro.dram.timing import GDDR5Timing
+from repro.noc.crossbar import CrossbarNoC
+from repro.noc.mesh import MeshNoC
+
+
+class TestMeshProperties:
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arrival_never_precedes_departure(self, core, part, start):
+        noc = MeshNoC()
+        assert noc.send_request(core, part, start) >= start
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=7),
+            ),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_under_increasing_start_times(self, pairs):
+        # Later-submitted packets on the same route never arrive earlier
+        # than an identical earlier submission would.
+        noc = MeshNoC()
+        last_arrival = {}
+        for i, (core, part) in enumerate(pairs):
+            arrival = noc.send_response(part, core, start=i * 10)
+            key = (core, part)
+            if key in last_arrival:
+                assert arrival >= last_arrival[key]
+            last_arrival[key] = arrival
+
+    @given(st.integers(min_value=0, max_value=23), st.integers(min_value=0, max_value=23))
+    @settings(max_examples=100, deadline=None)
+    def test_hops_symmetric(self, a, b):
+        noc = MeshNoC()
+        assert noc.hops(a, b) == noc.hops(b, a)
+
+
+class TestCrossbarProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_latency_at_least_traversal(self, sends):
+        xbar = CrossbarNoC()
+        for core, part, start in sorted(sends, key=lambda t: t[2]):
+            arrival = xbar.send_request(core, part, start)
+            assert arrival >= start + xbar.traversal_latency - 1
+
+
+class TestDRAMProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=120)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_completion_after_arrival_with_min_service(self, addrs):
+        t = GDDR5Timing()
+        mc = MemoryController(0, t)
+        now = 0
+        for addr in addrs:
+            done = mc.request(addr, now)
+            assert done >= now + t.row_hit_latency
+            now = done
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=120)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_row_stats_conserve(self, addrs):
+        mc = MemoryController(0, GDDR5Timing())
+        now = 0
+        for addr in addrs:
+            now = mc.request(addr, now)
+        hits = sum(b.row_hits for b in mc.banks)
+        misses = sum(b.row_misses for b in mc.banks)
+        assert hits + misses == len(addrs)
+        assert 0.0 <= mc.row_hit_rate <= 1.0

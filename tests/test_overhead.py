@@ -1,0 +1,53 @@
+"""Tests for the Section-4.3 hardware-overhead accounting."""
+
+import pytest
+
+from repro.core.overhead import (
+    ccws_overhead,
+    gcache_overhead,
+    overhead_table,
+    pdp_overhead,
+)
+from repro.sim.config import GPUConfig
+
+
+class TestGCacheOverhead:
+    def test_paper_headline_number(self):
+        # Section 4.3: 16 cores, 512-set 16-way 1MB L2 -> O_v = 16 KB.
+        report = gcache_overhead(GPUConfig())
+        victim_bits = 16 * 512 * 16
+        assert report.bits >= victim_bits
+        assert report.bits - victim_bits == 16 * 64  # bypass switches
+        assert 16.0 <= report.kib <= 16.2
+
+    def test_sharing_divides_victim_bits(self):
+        full = gcache_overhead(GPUConfig(), 1)
+        quarter = gcache_overhead(GPUConfig(), 4)
+        assert quarter.bits < full.bits
+        # Victim bits scale 1/4; switch bits unchanged.
+        assert full.bits - quarter.bits == (16 - 4) * 512 * 16
+
+    def test_share_factor_validated(self):
+        with pytest.raises(ValueError):
+            gcache_overhead(GPUConfig(), 3)
+
+
+class TestComparisons:
+    def test_gcache_cheaper_than_ccws(self):
+        config = GPUConfig()
+        assert gcache_overhead(config).bits < ccws_overhead(config).bits
+
+    def test_gcache_cheaper_than_dynamic_pdp(self):
+        # The paper: PDP needs samplers and counter arrays G-Cache avoids.
+        config = GPUConfig()
+        assert gcache_overhead(config).bits < pdp_overhead(config, 3).bits
+
+    def test_pdp8_heavier_than_pdp3(self):
+        config = GPUConfig()
+        assert pdp_overhead(config, 8).bits > pdp_overhead(config, 3).bits
+
+    def test_table_renders(self):
+        text = overhead_table(GPUConfig()).render()
+        assert "G-Cache" in text
+        assert "CCWS" in text
+        assert "KiB" in text

@@ -1,0 +1,84 @@
+"""Qualitative paper-claim tests at reduced scale.
+
+The full shape checks run in benchmarks/ at experiment scale; these are
+the subset robust enough to assert at scale 0.25 in the unit suite, so a
+regression in the policy or the workloads is caught by `pytest tests/`
+without a 20-minute campaign.
+"""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+from repro.sim.designs import make_design
+from repro.sim.simulator import simulate
+from repro.stats.report import geomean
+from repro.trace.suite import build_benchmark
+
+SCALE = 0.25
+SENSITIVE_SAMPLE = ["SSC", "SYRK", "KMN"]
+INSENSITIVE_SAMPLE = ["SD1", "BP", "FWT"]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    config = GPUConfig()
+    out = {}
+    for name in SENSITIVE_SAMPLE + INSENSITIVE_SAMPLE:
+        trace = build_benchmark(name, scale=SCALE)
+        out[name] = {
+            key: simulate(trace, config, make_design(key))
+            for key in ("bs", "gc")
+        }
+    return out
+
+
+class TestCoreClaims:
+    def test_gcache_speeds_up_sensitive_group(self, runs):
+        g = geomean(
+            runs[b]["gc"].speedup_over(runs[b]["bs"]) for b in SENSITIVE_SAMPLE
+        )
+        assert g > 1.01
+
+    def test_gcache_cuts_sensitive_misses(self, runs):
+        for bench in SENSITIVE_SAMPLE:
+            assert (
+                runs[bench]["gc"].l1.miss_rate
+                < runs[bench]["bs"].l1.miss_rate + 0.01
+            ), bench
+
+    def test_gcache_neutral_on_insensitive(self, runs):
+        for bench in INSENSITIVE_SAMPLE:
+            speedup = runs[bench]["gc"].speedup_over(runs[bench]["bs"])
+            assert speedup == pytest.approx(1.0, abs=0.02), bench
+
+    def test_gcache_bypasses_on_sensitive_only(self, runs):
+        active = sum(
+            1 for b in SENSITIVE_SAMPLE if runs[b]["gc"].l1.bypass_ratio > 0.02
+        )
+        assert active >= 2
+        for bench in ("SD1", "BP", "FWT"):
+            assert runs[bench]["gc"].l1.bypass_ratio < 0.02, bench
+
+    def test_contention_detected_only_where_it_exists(self, runs):
+        for bench in SENSITIVE_SAMPLE:
+            assert runs[bench]["gc"].extras["contentions_detected"] > 0, bench
+        assert runs["SD1"]["gc"].extras["contentions_detected"] == 0
+
+    def test_victim_bits_storage_matches_paper(self):
+        # Section 4.3's 16 KB headline, via the overhead module.
+        from repro.core.overhead import gcache_overhead
+
+        assert round(gcache_overhead(GPUConfig()).kib) == 16
+
+
+class TestSeedRobustness:
+    """The qualitative result must not be an artifact of one RNG seed."""
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_gcache_wins_on_ssc_for_other_seeds(self, seed):
+        config = GPUConfig()
+        trace = build_benchmark("SSC", scale=SCALE, seed=seed)
+        base = simulate(trace, config, make_design("bs"))
+        gc = simulate(trace, config, make_design("gc"))
+        assert gc.speedup_over(base) > 1.0
+        assert gc.l1.miss_rate < base.l1.miss_rate

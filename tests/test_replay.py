@@ -1,0 +1,95 @@
+"""Tests for the timing-free replay driver."""
+
+import pytest
+
+from repro.sim.designs import make_design
+from repro.sim.replay import build_core_streams, replay
+from repro.trace.suite import build_benchmark
+
+from conftest import alu, ld, make_kernel, st
+
+
+class TestStreamBuilding:
+    def test_streams_cover_all_transactions(self, tiny_config):
+        kernel = make_kernel([[ld(0), st(1), alu(3)]], ctas=4)
+        streams = build_core_streams(kernel, tiny_config)
+        total = sum(len(s) for s in streams)
+        assert total == 4 * 2  # 4 CTAs x (1 load + 1 store)
+
+    def test_round_robin_cta_placement(self, tiny_config):
+        kernel = make_kernel([[ld(0)]], ctas=4)
+        streams = build_core_streams(kernel, tiny_config)
+        assert len(streams) == tiny_config.num_cores
+        assert all(len(s) == 2 for s in streams)  # 2 CTAs per core
+
+    def test_writes_flagged(self, tiny_config):
+        kernel = make_kernel([[ld(0), st(1)]], ctas=1)
+        streams = build_core_streams(kernel, tiny_config)
+        flat = [t for s in streams for t in s]
+        assert (0, False) in flat
+        assert (1, True) in flat
+
+    def test_alu_and_barriers_produce_no_traffic(self, tiny_config):
+        from conftest import bar, smem
+
+        kernel = make_kernel([[alu(5), bar(), smem(2)]], ctas=1)
+        streams = build_core_streams(kernel, tiny_config)
+        assert sum(len(s) for s in streams) == 0
+
+
+class TestReplay:
+    def test_matches_design_semantics(self, tiny_config):
+        kernel = make_kernel([[ld(0), ld(0)]], ctas=1)
+        result = replay(kernel, tiny_config, make_design("bs"))
+        assert result.l1.loads == 2
+        assert result.l1.load_hits == 1
+
+    def test_streams_reusable_across_designs(self, tiny_config):
+        kernel = build_benchmark("SPMV", scale=0.05)
+        streams = build_core_streams(kernel, tiny_config)
+        a = replay(kernel, tiny_config, make_design("bs"), streams=streams)
+        b = replay(kernel, tiny_config, make_design("gc"), streams=streams)
+        assert a.l1.accesses == b.l1.accesses
+
+    def test_gcache_replay_uses_hints(self, tiny_config):
+        kernel = build_benchmark("SSC", scale=0.05)
+        result = replay(kernel, tiny_config, make_design("gc"))
+        assert "contentions_detected" in result.extras
+
+    def test_without_l2(self, tiny_config):
+        kernel = make_kernel([[ld(0)]], ctas=1)
+        result = replay(kernel, tiny_config, make_design("bs"), include_l2=False)
+        assert result.l2.accesses == 0
+
+
+class TestOracle:
+    def test_opt_not_worse_than_lru_on_benchmarks(self, tiny_config):
+        # Belady is optimal per set under demand fills; it must beat (or
+        # match) LRU on every real benchmark trace.
+        for name in ("SPMV", "KMN"):
+            kernel = build_benchmark(name, scale=0.05)
+            lru = replay(kernel, tiny_config, make_design("bs"), include_l2=False)
+            opt = replay(kernel, tiny_config, oracle=True, include_l2=False)
+            assert opt.l1.miss_rate <= lru.l1.miss_rate + 1e-9
+
+    def test_opt_on_crafted_antilru_pattern(self, tiny_config):
+        # Cyclic working set slightly larger than one set's ways: LRU
+        # gets zero hits, OPT keeps part of the set.
+        lines = [i * tiny_config.l1_sets * 128 for i in range(5)]
+        program = []
+        for _ in range(10):
+            for line in lines:
+                program.append((1, (line,)))  # OP_LOAD
+        kernel = make_kernel([program], ctas=1)
+        lru = replay(kernel, tiny_config, make_design("bs"), include_l2=False)
+        opt = replay(kernel, tiny_config, oracle=True, include_l2=False)
+        assert lru.l1.load_hits == 0
+        assert opt.l1.load_hits > 0
+
+    def test_paper_claim_opt_limited_under_contention(self, tiny_config):
+        # Section 3.1: even OPT shows limited improvement on contended
+        # GPU caches.  "Limited" here: OPT still misses heavily on a
+        # cache-sensitive benchmark at baseline geometry.
+        kernel = build_benchmark("KMN", scale=0.1)
+        opt = replay(kernel, tiny_config, oracle=True, include_l2=False)
+        assert opt.l1.miss_rate > 0.4

@@ -1,0 +1,55 @@
+"""Tests for sequential multi-kernel execution."""
+
+import pytest
+
+from repro.sim.designs import make_design
+from repro.sim.simulator import simulate, simulate_sequence
+from repro.trace.suite import build_benchmark
+
+from conftest import alu, ld, make_kernel
+
+
+class TestSequence:
+    def test_aggregates_instructions(self, tiny_config):
+        k1 = make_kernel([[ld(0), alu(2)]], ctas=2, name="k1")
+        k2 = make_kernel([[ld(8), alu(3)]], ctas=2, name="k2")
+        result = simulate_sequence([k1, k2], tiny_config)
+        assert result.benchmark == "k1+k2"
+        assert result.instructions == k1.instruction_count() + k2.instruction_count()
+
+    def test_cycles_exceed_single_kernel(self, tiny_config):
+        kernel = make_kernel([[ld(0), alu(2)] * 4], ctas=2)
+        single = simulate(kernel, tiny_config)
+        double = simulate_sequence([kernel, kernel], tiny_config)
+        assert double.cycles > single.cycles
+
+    def test_warm_cache_across_kernels(self, tiny_config):
+        # Kernel 2 re-reads kernel 1's lines.  CTA placement rotates, so
+        # it may land on a different core (cold L1) — but the shared L2
+        # stays warm and must serve it without DRAM traffic.
+        k1 = make_kernel([[ld(0), ld(1)]], ctas=1, name="producer")
+        k2 = make_kernel([[ld(0), ld(1)]], ctas=1, name="consumer")
+        warm = simulate_sequence([k1, k2], tiny_config)
+        assert warm.l2.hits + warm.l1.hits >= 2
+        assert warm.dram_requests == 2  # only kernel 1's cold misses
+
+    def test_empty_sequence_rejected(self, tiny_config):
+        with pytest.raises(ValueError, match="at least one kernel"):
+            simulate_sequence([], tiny_config)
+
+    def test_reuse_generations_counted_once(self, tiny_config):
+        kernel = make_kernel([[ld(0)]], ctas=1)
+        result = simulate_sequence([kernel, kernel], tiny_config)
+        # Finalize runs once at the end of the sequence: generations equal
+        # fills (one per L1 the rotating CTA placement touched), with no
+        # per-kernel double counting.
+        assert result.l1.reuse.generations == result.l1.fills
+
+    def test_srad_style_sd1_then_sd2(self, tiny_config):
+        sd1 = build_benchmark("SD1", scale=0.05)
+        sd2 = build_benchmark("SD2", scale=0.05)
+        result = simulate_sequence([sd1, sd2], tiny_config, make_design("gc"))
+        assert result.benchmark == "SD1+SD2"
+        assert result.instructions == (
+            sd1.instruction_count() + sd2.instruction_count()
+        )

@@ -1,0 +1,122 @@
+"""End-to-end tests for the top-level simulator."""
+
+import pytest
+
+from repro.sim.designs import make_design
+from repro.sim.simulator import GPU, RunResult, simulate
+from repro.trace.trace import CTATrace, KernelTrace
+
+from conftest import alu, bar, ld, make_kernel, st
+
+
+class TestCompletion:
+    def test_executes_every_instruction(self, tiny_config):
+        kernel = make_kernel([[alu(2), ld(0), st(1)]] * 2, ctas=3)
+        result = simulate(kernel, tiny_config, make_design("bs"))
+        assert result.instructions == kernel.instruction_count()
+        assert result.cycles > 0
+        assert 0 < result.ipc
+
+    def test_more_ctas_than_slots_backfills(self, tiny_config):
+        # 2 cores x 2 CTA slots; 10 CTAs forces the backfill path.
+        kernel = make_kernel([[alu(1), ld(0)]], ctas=10)
+        result = simulate(kernel, tiny_config, make_design("bs"))
+        assert result.instructions == kernel.instruction_count()
+
+    def test_barriers_complete(self, tiny_config):
+        kernel = make_kernel([[alu(1), bar(), ld(0)], [ld(4), bar(), alu(1)]], ctas=2)
+        result = simulate(kernel, tiny_config, make_design("bs"))
+        assert result.instructions == kernel.instruction_count()
+
+    def test_oversized_scratchpad_rejected(self, tiny_config):
+        kernel = KernelTrace(
+            name="big",
+            ctas=[CTATrace(warps=[[alu(1)]])],
+            scratchpad_per_cta=tiny_config.scratchpad_bytes + 1,
+        )
+        with pytest.raises(ValueError, match="scratchpad"):
+            simulate(kernel, tiny_config, make_design("bs"))
+
+    def test_invalid_trace_rejected(self, tiny_config):
+        kernel = KernelTrace(name="bad", ctas=[CTATrace(warps=[[(99, 0)]])])
+        with pytest.raises(ValueError):
+            simulate(kernel, tiny_config, make_design("bs"))
+
+
+class TestDeterminism:
+    def test_same_inputs_same_result(self, tiny_config):
+        kernel = make_kernel([[alu(1), ld(0), ld(8), st(2)]] * 3, ctas=4)
+        a = simulate(kernel, tiny_config, make_design("gc"))
+        b = simulate(kernel, tiny_config, make_design("gc"))
+        assert a.cycles == b.cycles
+        assert a.l1.hits == b.l1.hits
+        assert a.l1.bypasses == b.l1.bypasses
+
+
+class TestStatisticsConsistency:
+    def test_hits_plus_misses_equal_accesses(self, tiny_config):
+        kernel = make_kernel([[ld(i), ld(i)] for i in range(4)], ctas=4)
+        result = simulate(kernel, tiny_config, make_design("bs"))
+        stats = result.l1
+        assert stats.hits + stats.misses == stats.accesses
+        assert 0.0 <= stats.miss_rate <= 1.0
+
+    def test_reuse_histogram_populated(self, tiny_config):
+        kernel = make_kernel([[ld(0), ld(0), ld(0)]], ctas=1)
+        result = simulate(kernel, tiny_config, make_design("bs"))
+        assert result.l1.reuse.generations >= 1
+
+    def test_extras_for_gcache(self, tiny_config):
+        kernel = make_kernel([[ld(0), alu(1)]], ctas=2)
+        result = simulate(kernel, tiny_config, make_design("gc"))
+        assert "contentions_detected" in result.extras
+
+    def test_extras_for_pdp(self, tiny_config):
+        kernel = make_kernel([[ld(0), alu(1)]], ctas=2)
+        result = simulate(kernel, tiny_config, make_design("pdp-3"))
+        assert "pd_history" in result.extras
+
+
+class TestSpeedupAPI:
+    def test_speedup_requires_same_kernel(self, tiny_config):
+        a = simulate(make_kernel([[alu(1)]], name="a"), tiny_config)
+        b = simulate(make_kernel([[alu(1)]], name="b"), tiny_config)
+        with pytest.raises(ValueError, match="same kernel"):
+            b.speedup_over(a)
+
+    def test_self_speedup_is_one(self, tiny_config):
+        kernel = make_kernel([[alu(2), ld(0)]], ctas=2)
+        r = simulate(kernel, tiny_config)
+        assert r.speedup_over(r) == pytest.approx(1.0)
+
+
+def serial_load_program(warp_id: int, loads: int = 8):
+    """A warp alternating a unique-line load and a little compute."""
+    program = []
+    for i in range(loads):
+        program.append(ld(warp_id * 64 + i * 8))
+        program.append(alu(2))
+    return program
+
+
+class TestLatencyHiding:
+    def test_multithreading_hides_memory_latency(self, tiny_config):
+        # One warp doing serial loads vs eight warps doing the same work
+        # each: aggregate IPC must improve with more warps in flight.
+        lone = make_kernel([serial_load_program(0)], ctas=1)
+        packed = KernelTrace(
+            name="unit",
+            ctas=[CTATrace(warps=[serial_load_program(w) for w in range(8)])],
+        )
+        r_lone = simulate(lone, tiny_config)
+        r_packed = simulate(packed, tiny_config)
+        assert r_packed.ipc > r_lone.ipc
+
+    def test_hits_run_faster_than_misses(self, tiny_config):
+        reuse = make_kernel([[ld(0), alu(1)] * 8], ctas=1)
+        streaming = make_kernel(
+            [[op for i in range(8) for op in (ld(i * 8), alu(1))]], ctas=1
+        )
+        r_reuse = simulate(reuse, tiny_config)
+        r_stream = simulate(streaming, tiny_config)
+        assert r_reuse.ipc > r_stream.ipc

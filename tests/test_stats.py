@@ -1,0 +1,132 @@
+"""Tests for statistics counters, reuse histograms and report tables."""
+
+import pytest
+
+from repro.stats.counters import CacheStats, ReuseHistogram
+from repro.stats.report import Table, format_pct, format_speedup, geomean
+
+
+class TestReuseHistogram:
+    def test_fractions(self):
+        hist = ReuseHistogram()
+        for count in [0, 0, 0, 1, 2]:
+            hist.record(count)
+        assert hist.generations == 5
+        assert hist.fraction(0) == pytest.approx(0.6)
+        assert hist.fraction_at_least(1) == pytest.approx(0.4)
+
+    def test_buckets_match_fig2_legend(self):
+        hist = ReuseHistogram()
+        for count in [0, 1, 2, 3, 7]:
+            hist.record(count)
+        buckets = hist.buckets()
+        assert set(buckets) == {"0", "1", "2", "3+"}
+        assert buckets["3+"] == pytest.approx(0.4)
+        assert sum(buckets.values()) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ReuseHistogram().record(-1)
+
+    def test_empty_fractions_zero(self):
+        hist = ReuseHistogram()
+        assert hist.fraction(0) == 0.0
+        assert hist.fraction_at_least(1) == 0.0
+
+    def test_merge(self):
+        a, b = ReuseHistogram(), ReuseHistogram()
+        a.record(0)
+        b.record(0)
+        b.record(5)
+        a.merge(b)
+        assert a.generations == 3
+        assert a.as_dict() == {0: 2, 5: 1}
+
+
+class TestCacheStats:
+    def test_derived_rates(self):
+        stats = CacheStats(loads=8, stores=2, load_hits=4, store_hits=1)
+        assert stats.accesses == 10
+        assert stats.hits == 5
+        assert stats.miss_rate == pytest.approx(0.5)
+        assert stats.load_miss_rate == pytest.approx(0.5)
+
+    def test_bypass_ratio(self):
+        stats = CacheStats(loads=10, bypasses=3)
+        assert stats.bypass_ratio == pytest.approx(0.3)
+
+    def test_empty_cache_rates(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.bypass_ratio == 0.0
+
+    def test_merge_accumulates(self):
+        a = CacheStats(loads=5, load_hits=2, fills=3)
+        b = CacheStats(loads=1, load_hits=1, bypasses=2)
+        a.merge(b)
+        assert a.loads == 6
+        assert a.load_hits == 3
+        assert a.bypasses == 2
+
+    def test_snapshot_keys(self):
+        snap = CacheStats(loads=1).snapshot()
+        for key in ("accesses", "miss_rate", "bypass_ratio", "fills"):
+            assert key in snap
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([1.31]) == pytest.approx(1.31)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["bench", "miss"])
+        table.row(["BFS", "80.0%"])
+        table.row(["a-very-long-name", "1%"])
+        lines = table.render().splitlines()
+        assert lines[0].startswith("bench")
+        assert "BFS" in lines[2]
+
+    def test_title_and_rule(self):
+        table = Table(["a"], title="T")
+        table.row(["x"])
+        table.rule()
+        table.row(["gmean"])
+        text = table.render()
+        assert text.startswith("T\n=")
+        assert text.count("-") > 2
+
+    def test_row_width_validated(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.row(["only-one"])
+
+    def test_csv(self):
+        table = Table(["a", "b"])
+        table.row([1, 2])
+        table.rule()
+        assert table.to_csv() == "a,b\n1,2"
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+
+class TestFormatters:
+    def test_pct(self):
+        assert format_pct(0.309) == "30.9%"
+
+    def test_speedup(self):
+        assert format_speedup(1.309) == "1.309"

@@ -1,0 +1,73 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.sim.sweep import METRICS, Sweep
+
+from conftest import alu, ld, make_kernel
+
+
+@pytest.fixture
+def kernel():
+    return make_kernel(
+        [[op for i in range(4) for op in (ld(i * 8), alu(2))]], ctas=4
+    )
+
+
+class TestGrid:
+    def test_runs_full_grid(self, kernel, tiny_config):
+        sweep = (
+            Sweep(kernel, base_config=tiny_config)
+            .designs("bs", "gc")
+            .configs(l1_size=[1024, 2048])
+        )
+        points = sweep.run()
+        assert len(points) == 4
+        assert {p.design for p in points} == {"bs", "gc"}
+        assert {p.overrides["l1_size"] for p in points} == {1024, 2048}
+
+    def test_no_axes_single_point(self, kernel, tiny_config):
+        points = Sweep(kernel, base_config=tiny_config).designs("bs").run()
+        assert len(points) == 1
+        assert points[0].overrides == {}
+
+    def test_memoized(self, kernel, tiny_config):
+        sweep = Sweep(kernel, base_config=tiny_config).designs("bs")
+        assert sweep.run() is sweep.run()
+
+    def test_changing_grid_invalidates(self, kernel, tiny_config):
+        sweep = Sweep(kernel, base_config=tiny_config).designs("bs")
+        first = sweep.run()
+        sweep.designs("bs", "gc")
+        assert len(sweep.run()) == 2
+        assert sweep.run() is not first
+
+    def test_unknown_config_field(self, kernel, tiny_config):
+        with pytest.raises(ValueError, match="no field"):
+            Sweep(kernel, base_config=tiny_config).configs(l9_size=[1])
+
+    def test_spdp_with_pd_suffix(self, kernel, tiny_config):
+        points = Sweep(kernel, base_config=tiny_config).designs("spdp-b:8").run()
+        assert points[0].design == "spdp-b:8"
+
+
+class TestTable:
+    def test_metric_table(self, kernel, tiny_config):
+        sweep = (
+            Sweep(kernel, base_config=tiny_config)
+            .designs("bs", "gc")
+            .configs(l1_size=[1024, 2048])
+        )
+        text = sweep.table("miss_rate").render()
+        assert "l1_size=1024" in text
+        assert "bs" in text
+
+    def test_all_metrics_extract(self, kernel, tiny_config):
+        sweep = Sweep(kernel, base_config=tiny_config).designs("bs")
+        for metric in METRICS:
+            assert sweep.table(metric)
+
+    def test_unknown_metric(self, kernel, tiny_config):
+        sweep = Sweep(kernel, base_config=tiny_config)
+        with pytest.raises(ValueError, match="unknown metric"):
+            sweep.table("flops")

@@ -1,0 +1,80 @@
+"""Tests for the synthetic microbenchmark generators."""
+
+import pytest
+
+from repro.sim.designs import make_design
+from repro.sim.replay import replay
+from repro.trace.generators.base import TraceParams
+from repro.trace.generators.synthetic import (
+    CyclicScanGenerator,
+    PointerChaseGenerator,
+    PrivateHotGenerator,
+    StreamingGenerator,
+    ZipfGatherGenerator,
+)
+
+SMALL = TraceParams(scale=0.25)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [
+        StreamingGenerator,
+        CyclicScanGenerator,
+        ZipfGatherGenerator,
+        PrivateHotGenerator,
+        PointerChaseGenerator,
+    ],
+)
+class TestAllSynthetics:
+    def test_builds_and_validates(self, cls):
+        trace = cls(SMALL).build()
+        trace.validate()
+        assert trace.memory_access_count() > 0
+
+    def test_deterministic(self, cls):
+        a = cls(SMALL).build()
+        b = cls(SMALL).build()
+        assert a.ctas[0].warps[0] == b.ctas[0].warps[0]
+
+
+class TestPatternProperties:
+    def test_streaming_has_zero_reuse(self, tiny_config):
+        trace = StreamingGenerator(SMALL).build()
+        result = replay(trace, tiny_config, make_design("bs"), include_l2=False)
+        assert result.l1.load_hits == 0
+
+    def test_scan_below_capacity_hits(self, tiny_config):
+        class SmallScan(CyclicScanGenerator):
+            footprint_lines = 8  # far below even the tiny L1
+
+        trace = SmallScan(SMALL).build()
+        result = replay(trace, tiny_config, make_design("bs"), include_l2=False)
+        assert result.l1.miss_rate < 0.6
+
+    def test_scan_cliff_kills_lru(self, tiny_config):
+        # tiny_config L1 = 2KB = 16 lines; a 24-line scan is past its cliff.
+        class CliffScan(CyclicScanGenerator):
+            footprint_lines = 24
+
+        trace = CliffScan(SMALL).build()
+        lru = replay(trace, tiny_config, make_design("bs"), include_l2=False)
+        gc = replay(trace, tiny_config, make_design("gc"), include_l2=True)
+        assert lru.l1.miss_rate > 0.6
+        assert gc.l1.miss_rate < lru.l1.miss_rate
+
+    def test_private_hot_protected_by_gcache(self, tiny_config):
+        trace = PrivateHotGenerator(SMALL).build()
+        lru = replay(trace, tiny_config, make_design("bs"))
+        gc = replay(trace, tiny_config, make_design("gc"))
+        assert gc.l1.miss_rate <= lru.l1.miss_rate + 0.02
+
+    def test_chase_is_all_misses(self, tiny_config):
+        trace = PointerChaseGenerator(SMALL).build()
+        result = replay(trace, tiny_config, make_design("bs"), include_l2=False)
+        assert result.l1.miss_rate > 0.95
+
+    def test_zipf_head_is_cacheable(self, tiny_config):
+        trace = ZipfGatherGenerator(SMALL).build()
+        result = replay(trace, tiny_config, make_design("bs"), include_l2=False)
+        assert 0.0 < result.l1.miss_rate < 1.0

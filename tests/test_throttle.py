@@ -1,0 +1,84 @@
+"""Tests for the CCWS-style throttling scheduler."""
+
+import pytest
+
+from repro.gpu.schedulers import make_scheduler
+from repro.gpu.throttle import ThrottleScheduler
+from repro.gpu.warp import Warp
+from repro.sim.designs import make_design
+from repro.sim.simulator import simulate
+from repro.stats.counters import CacheStats
+
+from conftest import alu, ld, make_kernel
+
+
+def make_warps(n):
+    return [Warp(i, 0, [(0, 1)] * 4, age=i) for i in range(n)]
+
+
+class TestThrottling:
+    def test_starts_wide_open(self):
+        sched = ThrottleScheduler(max_active=48)
+        assert sched.active == 48
+
+    def test_shrinks_on_low_hit_rate(self):
+        sched = ThrottleScheduler(min_active=2, max_active=16, epoch=1)
+        stats = CacheStats(loads=100, load_hits=1)
+        sched.bind_stats(stats)
+        warps = make_warps(16)
+        sched.pick(warps, now=0)  # epoch tick -> adapt
+        assert sched.active < 16
+
+    def test_grows_on_high_hit_rate(self):
+        sched = ThrottleScheduler(min_active=2, max_active=16, epoch=1)
+        sched.active = 4
+        stats = CacheStats(loads=100, load_hits=90)
+        sched.bind_stats(stats)
+        sched.pick(make_warps(16), now=0)
+        assert sched.active > 4
+
+    def test_respects_floor(self):
+        sched = ThrottleScheduler(min_active=3, max_active=16, epoch=1)
+        stats = CacheStats(loads=1000, load_hits=0)
+        sched.bind_stats(stats)
+        warps = make_warps(16)
+        for i in range(10):
+            stats.loads += 100  # keep the window fresh
+            sched.pick(warps, now=i)
+        assert sched.active >= 3
+
+    def test_ignores_thin_windows(self):
+        sched = ThrottleScheduler(epoch=1)
+        stats = CacheStats(loads=5, load_hits=0)  # < 32 accesses
+        sched.bind_stats(stats)
+        before = sched.active
+        sched.pick(make_warps(8), now=0)
+        assert sched.active == before
+
+    def test_falls_back_beyond_active_set(self):
+        sched = ThrottleScheduler(min_active=1, max_active=8, epoch=10_000)
+        sched.active = 1
+        warps = make_warps(4)
+        warps[0].ready_time = 100  # the only active warp is stalled
+        choice = sched.pick(warps, now=0)
+        assert choice is not None
+        assert choice is not warps[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThrottleScheduler(min_active=0)
+        with pytest.raises(ValueError):
+            ThrottleScheduler(low_water=0.9, high_water=0.1)
+
+
+class TestIntegration:
+    def test_registry(self):
+        assert make_scheduler("throttle").name == "throttle"
+
+    def test_end_to_end_run(self, tiny_config):
+        config = tiny_config.with_scheduler("throttle")
+        kernel = make_kernel(
+            [[op for i in range(6) for op in (ld(i * 8), alu(1))]] * 2, ctas=4
+        )
+        result = simulate(kernel, config, make_design("bs"))
+        assert result.instructions == kernel.instruction_count()

@@ -1,0 +1,81 @@
+"""Tests for the timeline time-series module."""
+
+import pytest
+
+from repro.sim.designs import make_design
+from repro.sim.simulator import GPU
+from repro.stats.timeline import Timeline, TimelinePoint
+
+from conftest import alu, ld, make_kernel
+
+
+def pt(cycle, instr, acc, hits, byp=0):
+    return TimelinePoint(cycle, instr, acc, hits, byp)
+
+
+class TestWindows:
+    def test_rates_between_samples(self):
+        tl = Timeline(interval=100)
+        tl.record(pt(100, 50, 20, 10))
+        tl.record(pt(200, 150, 40, 25))
+        (w,) = tl.windows()
+        assert w.ipc == pytest.approx(1.0)
+        assert w.miss_rate == pytest.approx(1 - 15 / 20)
+
+    def test_bypass_rate(self):
+        tl = Timeline(interval=10)
+        tl.record(pt(10, 1, 10, 0, byp=0))
+        tl.record(pt(20, 2, 30, 0, byp=10))
+        (w,) = tl.windows()
+        assert w.bypass_rate == pytest.approx(0.5)
+
+    def test_out_of_order_samples_dropped(self):
+        tl = Timeline()
+        tl.record(pt(100, 1, 1, 1))
+        tl.record(pt(50, 2, 2, 2))
+        assert len(tl) == 1
+
+    def test_empty_window_rates(self):
+        tl = Timeline()
+        tl.record(pt(10, 0, 0, 0))
+        tl.record(pt(20, 0, 0, 0))
+        (w,) = tl.windows()
+        assert w.ipc == 0.0
+        assert w.miss_rate == 0.0
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            Timeline(interval=0)
+
+
+class TestSparkline:
+    def test_renders_glyphs(self):
+        tl = Timeline()
+        for i, miss in enumerate([10, 5, 1]):
+            tl.record(pt(100 * (i + 1), 10 * (i + 1), 100 * (i + 1), 100 * (i + 1) - miss * (i + 1)))
+        line = tl.sparkline("miss_rate")
+        assert len(line) == 2
+        assert all(c in "▁▂▃▄▅▆▇█" for c in line)
+
+    def test_empty_timeline(self):
+        assert Timeline().sparkline() == ""
+
+    def test_width_capping(self):
+        tl = Timeline()
+        for i in range(200):
+            tl.record(pt(10 * (i + 1), i + 1, i + 1, i))
+        assert len(tl.sparkline("ipc", width=50)) <= 50
+
+
+class TestSimulatorIntegration:
+    def test_samples_collected_during_run(self, tiny_config):
+        kernel = make_kernel(
+            [[op for i in range(8) for op in (ld(i * 8), alu(2))]] * 2, ctas=6
+        )
+        tl = Timeline(interval=200)
+        gpu = GPU(tiny_config, make_design("bs"), timeline=tl)
+        result = gpu.run(kernel)
+        assert len(tl) >= 2
+        last = tl.points[-1]
+        assert last.instructions <= result.instructions
+        assert last.cycle <= result.cycles + tl.interval

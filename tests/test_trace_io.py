@@ -1,0 +1,72 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.trace.io import dumps_trace, load_trace, loads_trace, save_trace
+from repro.trace.suite import build_benchmark
+
+from conftest import alu, bar, ld, make_kernel, st
+
+
+class TestRoundTrip:
+    def test_hand_built_kernel(self):
+        kernel = make_kernel([[alu(3), ld(0, 1), st(2), bar()]], ctas=2)
+        restored = loads_trace(dumps_trace(kernel))
+        assert restored.name == kernel.name
+        assert restored.num_ctas == 2
+        assert restored.ctas[0].warps[0] == kernel.ctas[0].warps[0]
+
+    def test_benchmark_trace(self):
+        trace = build_benchmark("SPMV", scale=0.05)
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.instruction_count() == trace.instruction_count()
+        assert restored.memory_access_count() == trace.memory_access_count()
+        assert restored.meta["sensitivity"] == "sensitive"
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = build_benchmark("SD1", scale=0.05)
+        path = tmp_path / "sd1.trace.json"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert restored.name == "SD1"
+        assert restored.instruction_count() == trace.instruction_count()
+
+    def test_stream_roundtrip(self):
+        kernel = make_kernel([[ld(0)]], ctas=1)
+        buf = io.StringIO()
+        save_trace(kernel, buf)
+        buf.seek(0)
+        assert load_trace(buf).num_ctas == 1
+
+    def test_scratchpad_preserved(self):
+        trace = build_benchmark("FFT", scale=0.05)
+        assert loads_trace(dumps_trace(trace)).scratchpad_per_cta == \
+            trace.scratchpad_per_cta
+
+
+class TestValidationOnLoad:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            loads_trace('{"format": "other", "version": 1}')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="unsupported trace version"):
+            loads_trace('{"format": "repro-trace", "version": 99}')
+
+    def test_rejects_malformed_instructions(self):
+        doc = (
+            '{"format": "repro-trace", "version": 1, "name": "x", '
+            '"ctas": [[[[1, []]]]]}'
+        )
+        with pytest.raises(ValueError):
+            loads_trace(doc)
+
+    def test_loaded_trace_simulates(self, tiny_config):
+        from repro.sim.simulator import simulate
+
+        kernel = make_kernel([[ld(0), alu(2)]], ctas=2)
+        restored = loads_trace(dumps_trace(kernel))
+        result = simulate(restored, tiny_config)
+        assert result.instructions == kernel.instruction_count()

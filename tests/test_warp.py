@@ -1,0 +1,35 @@
+"""Unit tests for warp runtime state."""
+
+from repro.gpu.warp import Warp
+
+
+class TestReadiness:
+    def test_fresh_warp_ready(self):
+        warp = Warp(0, 0, [(0, 1)], age=0)
+        assert warp.ready(now=0)
+
+    def test_waiting_warp_not_ready(self):
+        warp = Warp(0, 0, [(0, 1)], age=0)
+        warp.ready_time = 10
+        assert not warp.ready(now=5)
+        assert warp.ready(now=10)
+
+    def test_done_warp_never_ready(self):
+        warp = Warp(0, 0, [(0, 1)], age=0)
+        warp.done = True
+        assert not warp.ready(now=100)
+
+    def test_barrier_parks(self):
+        warp = Warp(0, 0, [(0, 1)], age=0)
+        warp.at_barrier = True
+        assert not warp.ready(now=0)
+
+    def test_empty_program_is_done(self):
+        warp = Warp(0, 0, [], age=0)
+        assert warp.done
+
+    def test_blocked_reflects_liveness(self):
+        warp = Warp(0, 0, [(0, 1)], age=0)
+        assert warp.blocked()
+        warp.done = True
+        assert not warp.blocked()
