@@ -5,6 +5,11 @@ session (the figures are views of one simulation campaign, and full
 timing runs are expensive).  Scale defaults to 0.5 and can be overridden
 with ``REPRO_SCALE=1.0`` for paper-sized runs.
 
+The campaign fans out over ``REPRO_JOBS`` worker processes (default:
+all cores) and, when ``REPRO_CACHE_DIR`` is set, serves repeat runs from
+the persistent result cache — results are bit-identical either way (see
+``tests/test_runner_determinism.py``).
+
 Every rendered figure/table is also written to ``benchmarks/results/``
 so EXPERIMENTS.md can reference stable artefacts.
 """
@@ -29,6 +34,16 @@ def repro_seed() -> int:
     return int(os.environ.get("REPRO_SEED", "0"))
 
 
+def repro_jobs():
+    """Worker processes for the campaign engine (default: all cores)."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    return int(raw) if raw else None
+
+
+def repro_cache_dir():
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
 @pytest.fixture(scope="session")
 def scale() -> float:
     return repro_scale()
@@ -37,7 +52,12 @@ def scale() -> float:
 @pytest.fixture(scope="session")
 def eval_suite() -> EvalSuite:
     """The Table-2 configuration campaign shared by Figs. 8/9 + Table 3."""
-    return EvalSuite(scale=repro_scale(), seed=repro_seed())
+    return EvalSuite(
+        scale=repro_scale(),
+        seed=repro_seed(),
+        jobs=repro_jobs(),
+        cache_dir=repro_cache_dir(),
+    )
 
 
 @pytest.fixture(scope="session")

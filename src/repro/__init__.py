@@ -30,7 +30,9 @@ from repro.sim import (
     simulate,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.runner import CampaignEngine, ResultCache, Task  # noqa: E402
 
 __all__ = [
     "GCacheConfig",
@@ -44,5 +46,8 @@ __all__ = [
     "RunResult",
     "simulate",
     "replay",
+    "CampaignEngine",
+    "ResultCache",
+    "Task",
     "__version__",
 ]

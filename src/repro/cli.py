@@ -4,6 +4,8 @@ Subcommands:
 
 * ``run`` — simulate one benchmark under one design and print a report.
 * ``compare`` — run several designs on one benchmark side by side.
+* ``campaign`` — run a benchmark x design matrix through the parallel
+  campaign engine (``--jobs``) with the persistent result cache.
 * ``list`` — enumerate benchmarks and designs.
 
 Examples::
@@ -11,15 +13,21 @@ Examples::
     python -m repro list
     python -m repro run --benchmark SPMV --design gc --scale 0.5
     python -m repro compare --benchmark SSC --designs bs,bs-s,gc
+    python -m repro campaign --benchmarks SPMV,KMN,SSC --jobs 8 \\
+        --cache-dir ~/.cache/repro --manifest run.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.common import sweep_optimal_pd
+from repro.experiments.common import EvalSuite, sweep_optimal_pd
+from repro.experiments.fig8_speedup import render_fig8
+from repro.runner import CampaignEngine, ResultCache
 from repro.sim.config import GPUConfig
 from repro.sim.designs import DESIGN_KEYS, make_design
 from repro.sim.simulator import simulate
@@ -33,6 +41,10 @@ __all__ = ["main"]
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--benchmark", required=True,
                         type=lambda s: s.upper(), choices=ALL_BENCHMARKS)
+    _add_knobs(parser)
+
+
+def _add_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--l1-size", type=int, default=32 * 1024,
@@ -41,8 +53,49 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=["lrr", "gto", "two-level", "throttle"])
 
 
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores; 1 = serial)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="persistent result-cache directory "
+                             "(default: $REPRO_CACHE_DIR, else no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent cache (no reads or writes)")
+    parser.add_argument("--invalidate", action="store_true",
+                        help="drop every cached entry before running")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="write the run manifest JSON to this path")
+
+
 def _config(args: argparse.Namespace) -> GPUConfig:
     return GPUConfig(l1_size=args.l1_size, warp_scheduler=args.scheduler)
+
+
+def _engine(args: argparse.Namespace, default_jobs: Optional[int] = 1) -> CampaignEngine:
+    """Campaign engine from the ``--jobs``/``--cache-dir``/``--no-cache`` flags.
+
+    Interactive subcommands default to no persistent cache unless
+    ``--cache-dir`` or ``$REPRO_CACHE_DIR`` names one; ``--no-cache``
+    always wins.
+    """
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir
+        if cache_dir is None and os.environ.get("REPRO_CACHE_DIR"):
+            cache_dir = Path(os.environ["REPRO_CACHE_DIR"])
+        if cache_dir is not None:
+            cache = ResultCache(cache_dir)
+            if args.invalidate:
+                dropped = cache.invalidate()
+                print(f"[cache] invalidated {dropped} entries under {cache_dir}")
+    jobs = args.jobs if args.jobs is not None else default_jobs
+    return CampaignEngine(jobs=jobs, cache=cache)
+
+
+def _finish_campaign(engine: CampaignEngine, args: argparse.Namespace) -> None:
+    print(engine.counters.render())
+    if args.manifest is not None:
+        print(f"[manifest] {engine.write_manifest(args.manifest)}")
 
 
 def _design(key: str, trace, config):
@@ -86,22 +139,26 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    config = _config(args)
-    trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     keys = [k.strip() for k in args.designs.split(",") if k.strip()]
     unknown = [k for k in keys if k not in DESIGN_KEYS]
     if unknown:
         print(f"unknown designs: {unknown}; known: {DESIGN_KEYS}", file=sys.stderr)
         return 2
 
-    results = {}
-    for key in keys:
-        results[key] = simulate(trace, config, _design(key, trace, config))
+    suite = EvalSuite(
+        config=_config(args),
+        benchmarks=[args.benchmark],
+        scale=args.scale,
+        seed=args.seed,
+        engine=_engine(args),
+    )
+    matrix = suite.run_matrix(keys)
+    results = {key: matrix[(args.benchmark, key)] for key in keys}
     base = results.get("bs") or results[keys[0]]
 
     table = Table(
         ["design", "IPC", "speedup", "L1 miss", "bypass", "rel. energy"],
-        title=f"{trace.name}: design comparison",
+        title=f"{args.benchmark}: design comparison",
     )
     model = EnergyModel()
     base_energy = model.evaluate(base)
@@ -116,6 +173,38 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{model.evaluate(r).relative_to(base_energy):.3f}",
         ])
     print(table.render())
+    if args.manifest is not None:
+        print(f"[manifest] {suite.engine.write_manifest(args.manifest)}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    keys = [k.strip() for k in args.designs.split(",") if k.strip()]
+    unknown = [k for k in keys if k not in DESIGN_KEYS]
+    if unknown:
+        print(f"unknown designs: {unknown}; known: {DESIGN_KEYS}", file=sys.stderr)
+        return 2
+    benches = (
+        [b.strip().upper() for b in args.benchmarks.split(",") if b.strip()] or None
+    )
+    if benches:
+        bad = [b for b in benches if b not in ALL_BENCHMARKS]
+        if bad:
+            print(f"unknown benchmarks: {bad}; known: {ALL_BENCHMARKS}", file=sys.stderr)
+            return 2
+
+    engine = _engine(args, default_jobs=None)  # campaign defaults to all cores
+    suite = EvalSuite(
+        config=_config(args),
+        benchmarks=benches,
+        scale=args.scale,
+        seed=args.seed,
+        engine=engine,
+    )
+    suite.run_matrix(keys)
+    print(render_fig8(suite, designs=keys))
+    print()
+    _finish_campaign(engine, args)
     return 0
 
 
@@ -135,12 +224,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmp_parser = sub.add_parser("compare", help="compare designs on one benchmark")
     _add_common(cmp_parser)
     cmp_parser.add_argument("--designs", default="bs,bs-s,gc")
+    _add_campaign_flags(cmp_parser)
+
+    camp_parser = sub.add_parser(
+        "campaign",
+        help="run a benchmark x design matrix in parallel with result caching",
+    )
+    _add_knobs(camp_parser)
+    camp_parser.add_argument("--benchmarks", default="",
+                             help="comma-separated subset (default: all 17)")
+    camp_parser.add_argument("--designs", default="bs,bs-s,spdp-b,gc")
+    _add_campaign_flags(camp_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     return cmd_compare(args)
 
 

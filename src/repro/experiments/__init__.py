@@ -5,7 +5,7 @@ per-experiment index), plus ablations.  ``python -m repro.experiments``
 regenerates everything.
 """
 
-from repro.experiments.common import EvalSuite, sweep_optimal_pd
+from repro.experiments.common import PAPER_DESIGNS, EvalSuite, sweep_optimal_pd
 from repro.experiments.energy_table import energy_ratios, render_energy_table
 from repro.experiments.fig2_reuse import fig2_reuse_distribution, render_fig2
 from repro.experiments.fig34_size_sensitivity import (
@@ -24,6 +24,7 @@ from repro.experiments.table3_bypass import table3_rows, render_table3
 
 __all__ = [
     "EvalSuite",
+    "PAPER_DESIGNS",
     "sweep_optimal_pd",
     "fig2_reuse_distribution",
     "render_fig2",

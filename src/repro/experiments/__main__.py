@@ -1,17 +1,33 @@
 """Regenerate every paper figure/table: ``python -m repro.experiments``.
 
 Options:
-    --scale S      trace scale factor (default 1.0; 0.25 for a quick pass)
-    --seed N       trace seed (default 0)
-    --only NAMES   comma-separated experiment subset, e.g. "fig8,table3"
-    --benchmarks B comma-separated benchmark subset
+    --scale S       trace scale factor (default 1.0; 0.25 for a quick pass)
+    --seed N        trace seed (default 0)
+    --only NAMES    comma-separated experiment subset, e.g. "fig8,table3"
+    --benchmarks B  comma-separated benchmark subset
+    --jobs N        worker processes for the campaign (default: all cores;
+                    1 = serial)
+    --cache-dir D   persistent result-cache directory (default:
+                    $REPRO_CACHE_DIR or ~/.cache/repro)
+    --no-cache      bypass the persistent cache entirely (no reads/writes)
+    --invalidate    drop every cached entry before running
+    --manifest P    also write the run manifest JSON to P (a manifest is
+                    always written into the cache directory when caching)
+
+The full campaign fans out over a process pool and is served from the
+content-addressed result cache on reruns — a warm rerun skips every
+simulation and only re-renders the tables.  The printed campaign summary
+reports cache hit/miss counts and wall time; the manifest records them
+per task.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.common import EvalSuite
 from repro.experiments.fig2_reuse import fig2_reuse_distribution, render_fig2
@@ -20,12 +36,20 @@ from repro.experiments.fig34_size_sensitivity import (
     render_fig4,
     size_sensitivity,
 )
-from repro.experiments.fig8_speedup import render_fig8
+from repro.experiments.fig8_speedup import PAPER_DESIGNS, render_fig8
 from repro.experiments.fig9_missrate import render_fig9
-from repro.experiments.fig10_64kb import make_64kb_suite, render_fig10
+from repro.experiments.fig10_64kb import FIG10_DESIGNS, make_64kb_suite, render_fig10
 from repro.experiments.table3_bypass import render_table3
+from repro.runner import CampaignEngine, ResultCache
 
 ALL_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig8", "fig9", "table3", "fig10")
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
 
 
 def main(argv=None) -> int:
@@ -37,6 +61,26 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--only", type=str, default=",".join(ALL_EXPERIMENTS))
     parser.add_argument("--benchmarks", type=str, default="")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache (no reads or writes)",
+    )
+    parser.add_argument(
+        "--invalidate", action="store_true",
+        help="drop every cached entry before running",
+    )
+    parser.add_argument(
+        "--manifest", type=Path, default=None,
+        help="write the run manifest JSON to this path",
+    )
     args = parser.parse_args(argv)
 
     wanted = [w.strip() for w in args.only.split(",") if w.strip()]
@@ -47,20 +91,35 @@ def main(argv=None) -> int:
         [b.strip().upper() for b in args.benchmarks.split(",") if b.strip()] or None
     )
 
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+        cache = ResultCache(cache_dir)
+        if args.invalidate:
+            dropped = cache.invalidate()
+            print(f"[cache] invalidated {dropped} entries under {cache_dir}")
+    engine = CampaignEngine(jobs=args.jobs, cache=cache)
+
     t0 = time.time()
-    suite = EvalSuite(benchmarks=benches, scale=args.scale, seed=args.seed)
+    suite = EvalSuite(
+        benchmarks=benches, scale=args.scale, seed=args.seed, engine=engine
+    )
 
     if "fig2" in wanted:
-        print(render_fig2(fig2_reuse_distribution(benches, scale=args.scale, seed=args.seed)))
+        print(render_fig2(fig2_reuse_distribution(
+            benches, scale=args.scale, seed=args.seed, engine=engine
+        )))
         print()
     if "fig3" in wanted or "fig4" in wanted:
-        data = size_sensitivity(scale=args.scale, seed=args.seed)
+        data = size_sensitivity(scale=args.scale, seed=args.seed, engine=engine)
         if "fig3" in wanted:
             print(render_fig3(data))
             print()
         if "fig4" in wanted:
             print(render_fig4(data))
             print()
+    if {"fig8", "fig9", "table3"} & set(wanted):
+        suite.run_matrix(PAPER_DESIGNS)  # one parallel campaign, three views
     if "fig8" in wanted:
         print(render_fig8(suite))
         print()
@@ -71,9 +130,18 @@ def main(argv=None) -> int:
         print(render_table3(suite))
         print()
     if "fig10" in wanted:
-        suite64 = make_64kb_suite(benches, scale=args.scale, seed=args.seed)
+        suite64 = make_64kb_suite(
+            benches, scale=args.scale, seed=args.seed, engine=engine
+        )
+        suite64.run_matrix(FIG10_DESIGNS)
         print(render_fig10(suite64))
         print()
+
+    print(engine.counters.render())
+    if args.manifest is not None:
+        print(f"[manifest] {engine.write_manifest(args.manifest)}")
+    elif cache is not None and cache.enabled:
+        print(f"[manifest] {engine.write_manifest(cache.root / 'manifest-latest.json')}")
     print(f"[done in {time.time() - t0:.1f}s]")
     return 0
 

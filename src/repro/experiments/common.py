@@ -1,25 +1,36 @@
 """Shared infrastructure for the paper-figure experiments.
 
 :class:`EvalSuite` runs the benchmark x design matrix once and caches the
-results in memory, so Fig. 8 (speedups), Fig. 9 (miss rates) and Table 3
-(bypass ratios) are different views of the same runs — exactly as in the
-paper, where they come from one simulation campaign.
+results, so Fig. 8 (speedups), Fig. 9 (miss rates) and Table 3 (bypass
+ratios) are different views of the same runs — exactly as in the paper,
+where they come from one simulation campaign.
+
+Since the campaign engine refactor the suite is a thin veneer over
+:class:`repro.runner.CampaignEngine`: every run is described as a
+:class:`repro.runner.Task`, which gives the suite process-pool
+parallelism (``jobs=...``), a persistent on-disk result cache
+(``cache_dir=...``) and a per-run manifest for free, while results stay
+bit-identical to the old serial in-memory path (each task re-executes
+from a self-contained description).  :meth:`EvalSuite.run_matrix`
+prefetches the whole campaign in two parallel waves (PD sweeps, then
+simulations); individual :meth:`EvalSuite.run` calls stay lazily
+memoized on top.
 
 The SPDP-B design needs a per-benchmark *optimal* protecting distance
 (the paper's Table 3 lists them).  We find it the way the authors did:
-an offline sweep, implemented here over the timing-free replay driver
-(:func:`repro.sim.replay.replay`) for speed, minimizing L1 miss rate.
+an offline sweep over the timing-free replay driver, minimizing L1 miss
+rate (canonical implementation: :func:`repro.runner.task.sweep_optimal_pd`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.runner import CampaignEngine, ResultCache, Task
+from repro.runner.task import PD_SWEEP, sweep_optimal_pd
 from repro.sim.config import GPUConfig
 from repro.sim.designs import DesignSpec, make_design
-from repro.sim.replay import build_core_streams, replay
-from repro.sim.simulator import RunResult, simulate
+from repro.sim.simulator import RunResult
 from repro.stats.report import geomean
 from repro.trace.suite import (
     ALL_BENCHMARKS,
@@ -32,44 +43,14 @@ from repro.trace.trace import KernelTrace
 
 __all__ = [
     "PD_SWEEP",
+    "PAPER_DESIGNS",
     "EvalSuite",
     "sweep_optimal_pd",
     "group_rows",
 ]
 
-#: Candidate protecting distances for the SPDP-B offline sweep.
-PD_SWEEP: Tuple[int, ...] = (4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 68, 96)
-
 #: Designs evaluated in Figs. 8-10 (SPDP-B is parameterized separately).
 PAPER_DESIGNS: Tuple[str, ...] = ("bs", "bs-s", "pdp-3", "pdp-8", "spdp-b", "gc")
-
-
-def sweep_optimal_pd(
-    trace: KernelTrace,
-    config: GPUConfig,
-    candidates: Sequence[int] = PD_SWEEP,
-) -> int:
-    """Offline per-benchmark PD sweep (defines SPDP-B, as in the paper).
-
-    Uses the timing-free replay driver and picks the PD with the lowest
-    L1 miss rate; ties go to the smaller PD (cheaper hardware).
-    """
-    streams = build_core_streams(trace, config)
-    best_pd = candidates[0]
-    best_miss = float("inf")
-    for pd in candidates:
-        result = replay(
-            trace,
-            config,
-            make_design("spdp-b", pd=pd),
-            streams=streams,
-            include_l2=False,
-        )
-        miss = result.l1.miss_rate
-        if miss < best_miss - 1e-9:
-            best_miss = miss
-            best_pd = pd
-    return best_pd
 
 
 class EvalSuite:
@@ -80,6 +61,13 @@ class EvalSuite:
         benchmarks: Benchmark names; defaults to the full Table-1 suite.
         scale: Trace scale factor (1.0 = experiment size).
         seed: Trace generation seed.
+        jobs: Worker processes for batch execution (1 = serial, the
+            default; ``None`` = ``os.cpu_count()``).  Ignored when an
+            explicit ``engine`` is supplied.
+        cache_dir: Persistent result-cache directory; ``None`` disables
+            on-disk caching (in-memory memoization always applies).
+        engine: Share a pre-built campaign engine (and thus its cache
+            and counters) across several suites / harnesses.
     """
 
     def __init__(
@@ -88,14 +76,52 @@ class EvalSuite:
         benchmarks: Optional[Sequence[str]] = None,
         scale: float = 1.0,
         seed: int = 0,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+        engine: Optional[CampaignEngine] = None,
     ) -> None:
         self.config = config if config is not None else GPUConfig()
         self.benchmarks = list(benchmarks) if benchmarks else list(ALL_BENCHMARKS)
         self.scale = scale
         self.seed = seed
+        if engine is None:
+            cache = ResultCache(cache_dir) if cache_dir is not None else None
+            engine = CampaignEngine(jobs=jobs, cache=cache)
+        self.engine = engine
         self._traces: Dict[str, KernelTrace] = {}
         self._results: Dict[Tuple[str, str], RunResult] = {}
         self._optimal_pds: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Task construction
+    # ------------------------------------------------------------------
+    def _sim_task(self, benchmark: str, design: str, inline: bool) -> Task:
+        """Simulate-task for one grid point.
+
+        ``inline`` attaches the memoized trace as an execution shortcut
+        for serial in-process runs; the cache key is unaffected (it is
+        always derived from ``(benchmark, scale, seed)``).
+        """
+        return Task(
+            kind="simulate",
+            benchmark=benchmark,
+            design=design,
+            pd=self.optimal_pd(benchmark) if design == "spdp-b" else None,
+            scale=self.scale,
+            seed=self.seed,
+            config=self.config,
+            trace=self._traces.get(benchmark) if inline else None,
+        )
+
+    def _pd_task(self, benchmark: str, inline: bool = False) -> Task:
+        return Task(
+            kind="pd-sweep",
+            benchmark=benchmark,
+            scale=self.scale,
+            seed=self.seed,
+            config=self.config,
+            trace=self._traces.get(benchmark) if inline else None,
+        )
 
     # ------------------------------------------------------------------
     # Lazily-built artefacts
@@ -110,8 +136,9 @@ class EvalSuite:
     def optimal_pd(self, benchmark: str) -> int:
         """The SPDP-B protecting distance for ``benchmark`` (Table 3)."""
         if benchmark not in self._optimal_pds:
-            self._optimal_pds[benchmark] = sweep_optimal_pd(
-                self.trace(benchmark), self.config
+            self.trace(benchmark)  # memoize once; attached as a shortcut
+            self._optimal_pds[benchmark] = self.engine.run_one(
+                self._pd_task(benchmark, inline=True)
             )
         return self._optimal_pds[benchmark]
 
@@ -121,15 +148,47 @@ class EvalSuite:
         return make_design(key)
 
     def run(self, benchmark: str, design: str) -> RunResult:
-        """Simulate (benchmark, design), memoized."""
+        """Simulate (benchmark, design) through the engine, memoized."""
         cache_key = (benchmark, design)
         if cache_key not in self._results:
-            self._results[cache_key] = simulate(
-                self.trace(benchmark),
-                self.config,
-                self._design_for(design, benchmark),
+            self.trace(benchmark)  # memoize once; attached as a shortcut
+            self._results[cache_key] = self.engine.run_one(
+                self._sim_task(benchmark, design, inline=True)
             )
         return self._results[cache_key]
+
+    # ------------------------------------------------------------------
+    # Campaign prefetch
+    # ------------------------------------------------------------------
+    def run_matrix(
+        self,
+        designs: Sequence[str] = PAPER_DESIGNS,
+        benchmarks: Optional[Sequence[str]] = None,
+    ) -> Dict[Tuple[str, str], RunResult]:
+        """Run the whole benchmark x design matrix through the engine.
+
+        Fans out in two waves so the engine can parallelize each: first
+        the SPDP-B PD sweeps (they parameterize the spdp-b tasks), then
+        every outstanding simulation.  Populates the same memo
+        :meth:`run` uses, so figure renderers afterwards hit memory only.
+        """
+        benches = list(benchmarks) if benchmarks is not None else self.benchmarks
+        if "spdp-b" in designs:
+            missing = [b for b in benches if b not in self._optimal_pds]
+            if missing:
+                pds = self.engine.run([self._pd_task(b) for b in missing])
+                self._optimal_pds.update(zip(missing, pds))
+        grid = [
+            (b, d) for b in benches for d in designs if (b, d) not in self._results
+        ]
+        if grid:
+            results = self.engine.run(
+                [self._sim_task(b, d, inline=False) for b, d in grid]
+            )
+            self._results.update(zip(grid, results))
+        return {
+            (b, d): self._results[(b, d)] for b in benches for d in designs
+        }
 
     # ------------------------------------------------------------------
     # Derived metrics

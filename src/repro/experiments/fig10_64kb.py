@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.common import EvalSuite
 from repro.experiments.fig8_speedup import fig8_speedups, render_fig8
+from repro.runner import CampaignEngine
 from repro.sim.config import GPUConfig
 
 __all__ = ["make_64kb_suite", "fig10_speedups", "render_fig10"]
@@ -23,6 +24,9 @@ def make_64kb_suite(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[CampaignEngine] = None,
 ) -> EvalSuite:
     """An :class:`EvalSuite` with the L1 doubled to 64 KB."""
     return EvalSuite(
@@ -30,6 +34,9 @@ def make_64kb_suite(
         benchmarks=benchmarks,
         scale=scale,
         seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        engine=engine,
     )
 
 

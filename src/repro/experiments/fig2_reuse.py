@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.runner import CampaignEngine, Task
 from repro.sim.config import GPUConfig
-from repro.sim.designs import make_design
-from repro.sim.replay import replay
 from repro.stats.report import Table, format_pct
-from repro.trace.suite import ALL_BENCHMARKS, build_benchmark
+from repro.trace.suite import ALL_BENCHMARKS
 
 __all__ = ["fig2_reuse_distribution", "render_fig2"]
 
@@ -29,21 +28,37 @@ def fig2_reuse_distribution(
     config: Optional[GPUConfig] = None,
     scale: float = 1.0,
     seed: int = 0,
+    engine: Optional[CampaignEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-benchmark reuse-count buckets for the baseline L1.
 
     Returns ``{benchmark: {"0": f0, "1": f1, "2": f2, "3+": f3}}``.
+    The replays run through a campaign ``engine`` when one is given
+    (parallel + persistently cached); the default is serial/uncached.
     """
     if benchmarks is None:
         benchmarks = list(ALL_BENCHMARKS)
     if config is None:
         config = GPUConfig()
-    out: Dict[str, Dict[str, float]] = {}
-    for bench in benchmarks:
-        trace = build_benchmark(bench, scale=scale, seed=seed)
-        result = replay(trace, config, make_design("bs"), include_l2=False)
-        out[bench] = result.l1.reuse.buckets()
-    return out
+    if engine is None:
+        engine = CampaignEngine(jobs=1)
+    tasks = [
+        Task(
+            kind="replay",
+            benchmark=bench,
+            design="bs",
+            scale=scale,
+            seed=seed,
+            config=config,
+            include_l2=False,
+        )
+        for bench in benchmarks
+    ]
+    results = engine.run(tasks)
+    return {
+        bench: result.l1.reuse.buckets()
+        for bench, result in zip(benchmarks, results)
+    }
 
 
 def render_fig2(data: Dict[str, Dict[str, float]]) -> str:

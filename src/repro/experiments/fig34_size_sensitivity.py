@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.runner import CampaignEngine, Task
 from repro.sim.config import GPUConfig
-from repro.sim.designs import make_design
-from repro.sim.simulator import RunResult, simulate
+from repro.sim.simulator import RunResult
 from repro.stats.report import Table, format_pct, format_speedup
-from repro.trace.suite import CACHE_SENSITIVE, build_benchmark
+from repro.trace.suite import CACHE_SENSITIVE
 
 __all__ = ["SIZE_SWEEP", "size_sensitivity", "render_fig3", "render_fig4"]
 
@@ -29,19 +29,37 @@ def size_sensitivity(
     config: Optional[GPUConfig] = None,
     scale: float = 1.0,
     seed: int = 0,
+    engine: Optional[CampaignEngine] = None,
 ) -> Dict[str, Dict[int, RunResult]]:
-    """Baseline runs per benchmark per L1 size."""
+    """Baseline runs per benchmark per L1 size.
+
+    Runs through a campaign ``engine`` when given (parallel across the
+    whole benchmark x size grid, persistently cached); the default is
+    serial/uncached.
+    """
     if benchmarks is None:
         benchmarks = list(CACHE_SENSITIVE)
     if config is None:
         config = GPUConfig()
-    out: Dict[str, Dict[int, RunResult]] = {}
-    for bench in benchmarks:
-        trace = build_benchmark(bench, scale=scale, seed=seed)
-        out[bench] = {
-            size: simulate(trace, config.with_l1_size(size), make_design("bs"))
-            for size in sizes
-        }
+    if engine is None:
+        engine = CampaignEngine(jobs=1)
+    grid = [(bench, size) for bench in benchmarks for size in sizes]
+    results = engine.run(
+        [
+            Task(
+                kind="simulate",
+                benchmark=bench,
+                design="bs",
+                scale=scale,
+                seed=seed,
+                config=config.with_l1_size(size),
+            )
+            for bench, size in grid
+        ]
+    )
+    out: Dict[str, Dict[int, RunResult]] = {bench: {} for bench in benchmarks}
+    for (bench, size), result in zip(grid, results):
+        out[bench][size] = result
     return out
 
 

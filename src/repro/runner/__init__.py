@@ -1,0 +1,56 @@
+"""Parallel campaign engine with a persistent, content-addressed cache.
+
+The paper's whole evaluation is one benchmark x design simulation
+campaign; this package makes that campaign embarrassingly parallel and
+incrementally re-runnable:
+
+* :class:`Task` — a picklable, from-scratch-recomputable work unit
+  (timing simulation, timing-free replay, or SPDP-B PD sweep);
+* :class:`ResultCache` — an on-disk store keyed by a stable hash of the
+  task's full inputs plus a code-version salt, with atomic writes and
+  corruption-tolerant reads;
+* :class:`CampaignEngine` — fans task batches out over a process pool
+  (``jobs=1`` = serial fallback), probes/fills the cache, and emits a
+  per-run manifest with wall-time and hit/miss counters.
+
+Quickstart::
+
+    from repro.runner import CampaignEngine, ResultCache, Task
+
+    engine = CampaignEngine(jobs=4, cache=ResultCache("~/.cache/repro"))
+    tasks = [Task(kind="simulate", benchmark=b, design="gc", scale=0.25)
+             for b in ("SPMV", "KMN", "SSC")]
+    results = engine.run(tasks)          # list of RunResult
+    print(engine.counters.render())      # hit/miss + timing summary
+
+Results are bit-identical to serial runs by construction (each task is
+executed from a self-contained description in a fresh policy/trace
+state); ``tests/test_runner_determinism.py`` locks this in.
+"""
+
+from repro.runner.cache import (
+    CACHE_SCHEMA,
+    MISS,
+    ResultCache,
+    config_fingerprint,
+    default_salt,
+    stable_hash,
+)
+from repro.runner.engine import CampaignEngine, run_campaign
+from repro.runner.task import PD_SWEEP, Task, run_task, sweep_optimal_pd, trace_digest
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "MISS",
+    "PD_SWEEP",
+    "CampaignEngine",
+    "ResultCache",
+    "Task",
+    "config_fingerprint",
+    "default_salt",
+    "run_campaign",
+    "run_task",
+    "stable_hash",
+    "sweep_optimal_pd",
+    "trace_digest",
+]

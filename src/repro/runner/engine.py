@@ -1,0 +1,195 @@
+"""The campaign engine: parallel task execution behind the result cache.
+
+:class:`CampaignEngine` is the one place the repository fans simulation
+work out over processes.  Given a batch of :class:`~repro.runner.task.Task`
+objects it
+
+1. computes each task's stable cache key and probes the persistent
+   :class:`~repro.runner.cache.ResultCache` (when one is attached),
+2. deduplicates the remaining misses by key and executes them — serially
+   for ``jobs=1`` (also the fallback for single-task batches, where a
+   pool would only add fork latency), or on a ``ProcessPoolExecutor``
+   otherwise,
+3. writes results back to the cache atomically and records per-task wall
+   times and hit/miss counters
+   (:class:`~repro.stats.campaign.CampaignCounters`),
+
+and returns payloads aligned with the submitted batch.  Because every
+task is executed from scratch in its own interpreter state (workers
+rebuild traces and policy objects from the task description), results
+are bit-identical regardless of ``jobs`` or submission order — the
+property the determinism test layer locks in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.runner.cache import MISS, ResultCache, default_salt
+from repro.runner.task import Task, run_task_timed
+from repro.stats.campaign import CampaignCounters, TaskTiming
+
+__all__ = ["CampaignEngine", "run_campaign"]
+
+
+class CampaignEngine:
+    """Executes campaign tasks in parallel, behind the persistent cache.
+
+    Args:
+        jobs: Worker process count; ``None`` means ``os.cpu_count()``,
+            ``1`` forces fully serial in-process execution.
+        cache: Persistent result cache, or ``None`` to disable all reads
+            and writes (the ``--no-cache`` path).
+        salt: Code-version salt folded into every key; defaults to
+            :func:`repro.runner.cache.default_salt`.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        salt: Optional[str] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cache = cache
+        self.salt = salt if salt is not None else default_salt()
+        self.counters = CampaignCounters()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> List[Any]:
+        """Execute a batch; returns payloads in submission order.
+
+        Duplicate tasks (same cache key) within a batch execute once and
+        share the payload.
+        """
+        t0 = time.perf_counter()
+        keys = [task.key(self.salt) for task in tasks]
+        self.counters.tasks += len(tasks)
+
+        payloads: Dict[str, Any] = {}
+        pending: List[Task] = []
+        pending_keys: List[str] = []
+        for task, key in zip(tasks, keys):
+            if key in payloads or key in pending_keys:
+                continue
+            hit = self.cache.get(key) if self.cache is not None else MISS
+            if hit is not MISS:
+                payloads[key] = hit
+                self.counters.record(
+                    TaskTiming(label=task.label, key=key, cached=True, seconds=0.0)
+                )
+            else:
+                pending.append(task)
+                pending_keys.append(key)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                for task, key in zip(pending, pending_keys):
+                    payload, seconds = run_task_timed(task)
+                    self._complete(key, task, payload, seconds, payloads)
+            else:
+                self._run_pool(pending, pending_keys, payloads)
+
+        self.counters.elapsed_seconds += time.perf_counter() - t0
+        return [payloads[key] for key in keys]
+
+    def _run_pool(
+        self, pending: List[Task], pending_keys: List[str], payloads: Dict[str, Any]
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(run_task_timed, task): (key, task)
+                for task, key in zip(pending, pending_keys)
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, task = futures[future]
+                    payload, seconds = future.result()
+                    self._complete(key, task, payload, seconds, payloads)
+
+    def _complete(
+        self, key: str, task: Task, payload: Any, seconds: float, payloads: Dict[str, Any]
+    ) -> None:
+        payloads[key] = payload
+        if self.cache is not None:
+            self.cache.put(key, payload)
+        self.counters.record(
+            TaskTiming(label=task.label, key=key, cached=False, seconds=seconds)
+        )
+
+    def run_one(self, task: Task) -> Any:
+        """Convenience wrapper: execute a single task through the cache."""
+        return self.run([task])[0]
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict[str, Any]:
+        """Everything a rerun needs to audit this campaign, as plain data."""
+        cache_info: Dict[str, Any] = {"enabled": self.cache is not None}
+        if self.cache is not None:
+            cache_info.update(
+                root=str(self.cache.root) if self.cache.enabled else None,
+                **self.cache.counter_snapshot(),
+            )
+        return {
+            "salt": self.salt,
+            "jobs": self.jobs,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "cache": cache_info,
+            "counters": self.counters.snapshot(),
+            "tasks": [
+                {
+                    "label": t.label,
+                    "key": t.key,
+                    "cached": t.cached,
+                    "seconds": round(t.seconds, 6),
+                }
+                for t in self.counters.timings
+            ],
+        }
+
+    def write_manifest(self, path: Union[str, os.PathLike]) -> Path:
+        """Write the manifest as JSON (atomically); returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(self.manifest(), indent=2, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cache = "on" if self.cache is not None else "off"
+        return f"<CampaignEngine jobs={self.jobs} cache={cache}>"
+
+
+def run_campaign(
+    tasks: Sequence[Task],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+) -> List[Any]:
+    """One-shot helper: build an engine, run a batch, return payloads."""
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return CampaignEngine(jobs=jobs, cache=cache).run(tasks)

@@ -1,0 +1,223 @@
+"""Campaign work units: self-contained, picklable task descriptions.
+
+A :class:`Task` captures everything a worker process needs to recompute
+one result from scratch — benchmark name + trace parameters (or an
+explicit trace), design key + parameters, and the full
+:class:`GPUConfig` — so the campaign engine can ship it across a
+``ProcessPoolExecutor`` boundary and key its persistent cache entry by
+content (:meth:`Task.fingerprint`).
+
+Task kinds:
+
+``simulate``
+    Full timing simulation; payload is a :class:`~repro.sim.simulator.RunResult`.
+``replay``
+    Timing-free cache replay; payload is a
+    :class:`~repro.sim.replay.ReplayResult` (drives Fig. 2).
+``pd-sweep``
+    The SPDP-B offline protecting-distance sweep; payload is the best
+    PD (``int``).  Defined here (rather than in ``repro.experiments``)
+    so workers need no experiment-layer imports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.sim.config import GPUConfig
+from repro.sim.designs import DesignSpec, make_design
+from repro.sim.replay import build_core_streams, replay
+from repro.sim.simulator import simulate
+from repro.trace.trace import KernelTrace
+
+from repro.runner.cache import config_fingerprint, stable_hash
+
+__all__ = [
+    "PD_SWEEP",
+    "Task",
+    "run_task",
+    "run_task_timed",
+    "sweep_optimal_pd",
+    "trace_digest",
+]
+
+#: Candidate protecting distances for the SPDP-B offline sweep
+#: (canonical definition; re-exported by ``repro.experiments.common``).
+PD_SWEEP: Tuple[int, ...] = (4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 68, 96)
+
+TASK_KINDS = ("simulate", "replay", "pd-sweep")
+
+
+def sweep_optimal_pd(
+    trace: KernelTrace,
+    config: GPUConfig,
+    candidates: Sequence[int] = PD_SWEEP,
+) -> int:
+    """Offline per-benchmark PD sweep (defines SPDP-B, as in the paper).
+
+    Uses the timing-free replay driver and picks the PD with the lowest
+    L1 miss rate; ties go to the smaller PD (cheaper hardware).
+    """
+    streams = build_core_streams(trace, config)
+    best_pd = candidates[0]
+    best_miss = float("inf")
+    for pd in candidates:
+        result = replay(
+            trace,
+            config,
+            make_design("spdp-b", pd=pd),
+            streams=streams,
+            include_l2=False,
+        )
+        miss = result.l1.miss_rate
+        if miss < best_miss - 1e-9:
+            best_miss = miss
+            best_pd = pd
+    return best_pd
+
+
+def trace_digest(trace: KernelTrace) -> str:
+    """Content digest of a kernel trace, for keying ad-hoc traces.
+
+    Hashes the name, scratchpad footprint and the full instruction
+    stream incrementally (``repr`` of plain ints/tuples is stable across
+    processes and Python versions, unlike ``hash()``).
+    """
+    h = hashlib.sha256()
+    h.update(repr((trace.name, trace.scratchpad_per_cta)).encode())
+    for cta in trace.ctas:
+        for warp in cta.warps:
+            h.update(repr(warp).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class Task:
+    """One unit of campaign work.
+
+    Args:
+        kind: ``"simulate"``, ``"replay"`` or ``"pd-sweep"``.
+        benchmark: Table-1 benchmark name, rebuilt in the worker via
+            :func:`repro.trace.suite.build_benchmark` from
+            ``(benchmark, scale, seed)``.
+        design: Design key (ignored by ``pd-sweep``).
+        pd: Protecting distance for ``spdp-b`` tasks.
+        scale: Trace scale factor.
+        seed: Trace generation seed.
+        config: Full architectural configuration (hashed field-by-field
+            into the cache key, so any change invalidates).
+        victim_share_factor: ``S_v`` for victim-bit sharing runs.
+        pd_candidates: Sweep candidates for ``pd-sweep`` tasks.
+        include_l2: Model the L2 in ``replay`` tasks.
+        trace: Optional pre-built trace.  With ``key_by_trace=False``
+            this is only an execution shortcut (the cache key still uses
+            benchmark/scale/seed); with ``key_by_trace=True`` the key
+            uses a content digest of the trace instead — required for
+            traces that did not come from the benchmark registry.
+        trace_key: Precomputed :func:`trace_digest` (avoids rehashing a
+            shared trace for every grid point).
+    """
+
+    kind: str
+    benchmark: Optional[str] = None
+    design: str = "bs"
+    pd: Optional[int] = None
+    scale: float = 1.0
+    seed: int = 0
+    config: GPUConfig = field(default_factory=GPUConfig)
+    victim_share_factor: int = 1
+    pd_candidates: Tuple[int, ...] = PD_SWEEP
+    include_l2: bool = True
+    trace: Optional[KernelTrace] = None
+    key_by_trace: bool = False
+    trace_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ValueError(f"unknown task kind {self.kind!r}; known: {TASK_KINDS}")
+        if self.benchmark is None and self.trace is None:
+            raise ValueError("task needs a benchmark name or an explicit trace")
+        if self.key_by_trace and self.trace is None and self.trace_key is None:
+            raise ValueError("key_by_trace requires a trace or a trace_key")
+        if self.kind == "simulate" and self.design == "spdp-b" and self.pd is None:
+            raise ValueError("spdp-b simulate tasks need pd=...")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Human-readable manifest label, e.g. ``simulate:SPMV/gc``."""
+        name = self.benchmark or (self.trace.name if self.trace else "?")
+        if self.kind == "pd-sweep":
+            return f"pd-sweep:{name}"
+        return f"{self.kind}:{name}/{self.design}"
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Everything that determines this task's result, as plain data."""
+        fp: Dict[str, Any] = {
+            "kind": self.kind,
+            "config": config_fingerprint(self.config),
+        }
+        if self.key_by_trace:
+            key = self.trace_key or trace_digest(self.trace)
+            fp["trace"] = key
+        else:
+            fp["benchmark"] = self.benchmark
+            fp["scale"] = self.scale
+            fp["seed"] = self.seed
+        if self.kind == "pd-sweep":
+            fp["pd_candidates"] = list(self.pd_candidates)
+        else:
+            fp["design"] = self.design
+            fp["pd"] = self.pd
+            fp["victim_share_factor"] = self.victim_share_factor
+        if self.kind == "replay":
+            fp["include_l2"] = self.include_l2
+        return fp
+
+    def key(self, salt: str) -> str:
+        """Stable cache key: SHA-256 over fingerprint + code salt."""
+        return stable_hash({"salt": salt, **self.fingerprint()})
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build_trace(self) -> KernelTrace:
+        if self.trace is not None:
+            return self.trace
+        from repro.trace.suite import build_benchmark
+
+        return build_benchmark(self.benchmark, scale=self.scale, seed=self.seed)
+
+    def build_design(self) -> DesignSpec:
+        return make_design(self.design, pd=self.pd)
+
+
+def run_task(task: Task) -> Any:
+    """Execute one task from scratch; the top-level worker entry point."""
+    trace = task.build_trace()
+    if task.kind == "simulate":
+        return simulate(
+            trace,
+            task.config,
+            task.build_design(),
+            victim_share_factor=task.victim_share_factor,
+        )
+    if task.kind == "replay":
+        return replay(
+            trace, task.config, task.build_design(), include_l2=task.include_l2
+        )
+    return sweep_optimal_pd(trace, task.config, task.pd_candidates)
+
+
+def run_task_timed(task: Task) -> Tuple[Any, float]:
+    """``(payload, wall_seconds)`` — used by the pool so per-task timing
+    reflects worker-side compute, not queueing."""
+    import time
+
+    t0 = time.perf_counter()
+    payload = run_task(task)
+    return payload, time.perf_counter() - t0

@@ -10,9 +10,16 @@ downstream experiments::
         .designs("bs", "gc")
         .configs(l1_size=[16 * 1024, 32 * 1024, 64 * 1024])
     )
-    for point in sweep.run():
+    for point in sweep.run(jobs=4):
         print(point.design, point.overrides, point.result.ipc)
     print(sweep.table("ipc").render())
+
+Since the campaign-engine refactor the grid executes through
+:class:`repro.runner.CampaignEngine`: pass ``jobs`` to fan the points
+out over a process pool and/or ``cache_dir`` to reuse results across
+runs.  Because the sweep's trace may be ad-hoc (not necessarily from the
+benchmark registry), cache keys embed a content digest of the trace
+itself rather than a (benchmark, scale, seed) triple.
 """
 
 from __future__ import annotations
@@ -21,9 +28,9 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.runner import CampaignEngine, ResultCache, Task, trace_digest
 from repro.sim.config import GPUConfig
-from repro.sim.designs import DesignSpec, make_design
-from repro.sim.simulator import RunResult, simulate
+from repro.sim.simulator import RunResult
 from repro.stats.report import Table
 from repro.trace.trace import KernelTrace
 
@@ -56,10 +63,14 @@ class Sweep:
     Args:
         trace: Kernel to run at every point.
         base_config: Starting configuration (Table 2 by default).
+        jobs: Default worker-process count for :meth:`run` (1 = serial).
+        cache_dir: Persistent result-cache directory (``None`` = off).
     """
 
     trace: KernelTrace
     base_config: GPUConfig = field(default_factory=GPUConfig)
+    jobs: int = 1
+    cache_dir: Optional[str] = None
     _designs: List[str] = field(default_factory=lambda: ["bs"])
     _grid: Dict[str, Sequence] = field(default_factory=dict)
     _points: Optional[List[SweepPoint]] = None
@@ -87,23 +98,47 @@ class Sweep:
         for values in itertools.product(*(self._grid[n] for n in names)):
             yield dict(zip(names, values))
 
-    def _design_for(self, key: str) -> DesignSpec:
+    @staticmethod
+    def _split_design(key: str):
+        """``"spdp-b:24"`` -> ("spdp-b", 24); plain keys pass through."""
         if key.startswith("spdp-b:"):
-            return make_design("spdp-b", pd=int(key.split(":", 1)[1]))
-        return make_design(key)
+            return "spdp-b", int(key.split(":", 1)[1])
+        return key, None
 
-    def run(self) -> List[SweepPoint]:
-        """Execute the whole grid (memoized)."""
+    def run(self, jobs: Optional[int] = None) -> List[SweepPoint]:
+        """Execute the whole grid (memoized).
+
+        Args:
+            jobs: Override the sweep's worker count for this call.
+        """
         if self._points is not None:
             return self._points
-        points: List[SweepPoint] = []
+        digest = trace_digest(self.trace)
+        grid: List[SweepPoint] = []
+        tasks: List[Task] = []
         for overrides in self._config_points():
             config = replace(self.base_config, **overrides) if overrides else self.base_config
             for key in self._designs:
-                result = simulate(self.trace, config, self._design_for(key))
-                points.append(SweepPoint(design=key, overrides=dict(overrides), result=result))
-        self._points = points
-        return points
+                design, pd = self._split_design(key)
+                grid.append(SweepPoint(design=key, overrides=dict(overrides), result=None))
+                tasks.append(
+                    Task(
+                        kind="simulate",
+                        benchmark=self.trace.name,
+                        design=design,
+                        pd=pd,
+                        config=config,
+                        trace=self.trace,
+                        key_by_trace=True,
+                        trace_key=digest,
+                    )
+                )
+        cache = ResultCache(self.cache_dir) if self.cache_dir is not None else None
+        engine = CampaignEngine(jobs=jobs if jobs is not None else self.jobs, cache=cache)
+        for point, result in zip(grid, engine.run(tasks)):
+            point.result = result
+        self._points = grid
+        return grid
 
     def table(self, metric: str = "ipc") -> Table:
         """Tabulate one metric: rows = config points, columns = designs."""

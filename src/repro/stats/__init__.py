@@ -1,5 +1,7 @@
-"""Statistics: counters, reuse histograms, energy, timelines, reports."""
+"""Statistics: counters, reuse histograms, energy, timelines, reports,
+campaign progress."""
 
+from repro.stats.campaign import CampaignCounters, TaskTiming
 from repro.stats.counters import CacheStats, ReuseHistogram
 from repro.stats.energy import EnergyBreakdown, EnergyModel
 from repro.stats.report import Table, geomean
@@ -8,6 +10,8 @@ from repro.stats.timeline import Timeline, TimelinePoint
 __all__ = [
     "CacheStats",
     "ReuseHistogram",
+    "CampaignCounters",
+    "TaskTiming",
     "EnergyModel",
     "EnergyBreakdown",
     "Table",

@@ -1,0 +1,104 @@
+"""Campaign-level progress and timing counters.
+
+The :mod:`repro.runner` engine records one :class:`TaskTiming` per
+executed-or-cached task and aggregates them into a
+:class:`CampaignCounters`, the number the acceptance criteria (and the
+manifest) report: how many tasks ran, how many were served from the
+persistent cache, and how much simulated wall time the cache saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.stats.report import Table
+
+__all__ = ["TaskTiming", "CampaignCounters"]
+
+
+@dataclass
+class TaskTiming:
+    """Timing record for one campaign task.
+
+    Attributes:
+        label: Human-readable task label (``simulate:SPMV/gc``).
+        key: Content-addressed cache key (SHA-256 hex).
+        cached: Whether the result came from the persistent cache.
+        seconds: Worker-side wall time; ~0 for cache hits.
+    """
+
+    label: str
+    key: str
+    cached: bool
+    seconds: float
+
+
+@dataclass
+class CampaignCounters:
+    """Aggregate counters for one campaign engine's lifetime.
+
+    Attributes:
+        tasks: Task slots submitted (duplicates included).
+        unique_tasks: Distinct cache keys among them.
+        cache_hits: Unique tasks served from the persistent cache.
+        cache_misses: Unique tasks that had to execute.
+        executed: Tasks actually run (== ``cache_misses``).
+        task_seconds: Summed worker wall time of executed tasks.
+        elapsed_seconds: Real elapsed time across ``run()`` batches.
+        timings: Per-task records, in completion order.
+    """
+
+    tasks: int = 0
+    unique_tasks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    task_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    timings: List[TaskTiming] = field(default_factory=list)
+
+    def record(self, timing: TaskTiming) -> None:
+        self.timings.append(timing)
+        self.unique_tasks += 1
+        if timing.cached:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            self.executed += 1
+            self.task_seconds += timing.seconds
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict view for the run manifest / JSON dumps."""
+        return {
+            "tasks": self.tasks,
+            "unique_tasks": self.unique_tasks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "hit_rate": self.hit_rate,
+            "task_seconds": round(self.task_seconds, 6),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    def render(self) -> str:
+        """One-table summary for CLI output."""
+        table = Table(["counter", "value"], title="Campaign summary")
+        table.row(["tasks (unique)", f"{self.tasks} ({self.unique_tasks})"])
+        table.row(["cache hits", str(self.cache_hits)])
+        table.row(["cache misses", str(self.cache_misses)])
+        table.row(["hit rate", f"{self.hit_rate:.1%}"])
+        table.row(["worker compute", f"{self.task_seconds:.1f}s"])
+        table.row(["elapsed", f"{self.elapsed_seconds:.1f}s"])
+        return table.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CampaignCounters {self.unique_tasks} tasks: "
+            f"{self.cache_hits} hits / {self.cache_misses} misses>"
+        )

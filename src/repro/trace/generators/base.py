@@ -21,6 +21,7 @@ Modelling conventions:
 from __future__ import annotations
 
 import random
+import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
@@ -142,15 +143,21 @@ class BenchmarkGenerator(ABC):
     def __init__(self, params: TraceParams = TraceParams()) -> None:
         self.params = params
         self.regions = RegionAllocator()
-        self._rng = random.Random((hash(self.name) & 0xFFFF) ^ params.seed)
+        self._rng = random.Random(self._name_seed() ^ params.seed)
 
     # ------------------------------------------------------------------
     # Randomness helpers
     # ------------------------------------------------------------------
+    def _name_seed(self) -> int:
+        # crc32, not hash(): str hashing is salted per interpreter, which
+        # would break the documented (scale, seed) determinism contract
+        # and invalidate persistent result-cache entries across sessions.
+        return zlib.crc32(self.name.encode()) & 0xFFFF
+
     def rng_for(self, cta_id: int, warp_id: int) -> random.Random:
         """Deterministic per-warp RNG (stable across design sweeps)."""
         return random.Random(
-            (hash(self.name) & 0xFFFF) * 1_000_003
+            self._name_seed() * 1_000_003
             + self.params.seed * 7919
             + cta_id * 131
             + warp_id

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/data/golden_paper_numbers.json``.
+
+Run after an *intentional* modelling change::
+
+    PYTHONPATH=src python tests/regen_golden.py
+
+The fixture parameters (scale, seed, benchmark slice, designs) live in
+``tests/test_paper_regression.py`` — this script only re-executes that
+campaign and rewrites the file, so the test and the fixture can never
+disagree about what is being pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_paper_regression import GOLDEN_PATH, compute_golden  # noqa: E402
+
+
+def main() -> None:
+    payload = compute_golden()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Golden determinism tests for the campaign engine.
+
+The engine's contract is that parallel execution can never change
+reproduced numbers: ``jobs=4`` must produce *identical* ``RunResult``
+counters to ``jobs=1``, and serving a result from the persistent cache
+must be byte-identical to computing it.  These tests lock that in for a
+3-benchmark x 3-design slice of the paper campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import EvalSuite
+from repro.runner import CampaignEngine, ResultCache, Task
+
+SLICE_BENCHMARKS = ("SPMV", "BFS", "SD1")
+SLICE_DESIGNS = ("bs", "bs-s", "gc")
+SCALE = 0.05
+SEED = 0
+
+
+def signature(result):
+    """Every counter a RunResult carries, as plain comparable data."""
+    return {
+        "benchmark": result.benchmark,
+        "design": result.design,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.ipc,
+        "l1": result.l1.snapshot(),
+        "l1_reuse": result.l1.reuse.as_dict(),
+        "l2": result.l2.snapshot(),
+        "l2_reuse": result.l2.reuse.as_dict(),
+        "avg_load_latency": result.avg_load_latency,
+        "dram_requests": result.dram_requests,
+        "dram_row_hit_rate": result.dram_row_hit_rate,
+    }
+
+
+def run_slice(jobs, cache_dir=None):
+    suite = EvalSuite(
+        benchmarks=SLICE_BENCHMARKS,
+        scale=SCALE,
+        seed=SEED,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return suite, suite.run_matrix(SLICE_DESIGNS)
+
+
+class TestParallelEqualsSerial:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_slice(jobs=1)[1]
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_slice(jobs=4)[1]
+
+    def test_same_grid(self, serial, parallel):
+        assert set(serial) == set(parallel) == {
+            (b, d) for b in SLICE_BENCHMARKS for d in SLICE_DESIGNS
+        }
+
+    def test_identical_counters(self, serial, parallel):
+        for point in serial:
+            assert signature(parallel[point]) == signature(serial[point]), point
+
+    def test_parallel_engine_really_forked(self):
+        """Guard the fixture: jobs=4 must take the pool path for batches."""
+        engine = CampaignEngine(jobs=4)
+        assert engine.jobs == 4
+
+
+class TestCachedRunsAreByteIdentical:
+    def test_consecutive_cached_runs(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+
+        suite1, first = run_slice(jobs=2, cache_dir=str(cache_dir))
+        keys = {t.key for t in suite1.engine.counters.timings}
+        assert keys, "first run recorded no tasks"
+        blobs_after_first = {
+            key: suite1.engine.cache.get_bytes(key) for key in keys
+        }
+        assert all(blob is not None for blob in blobs_after_first.values())
+
+        suite2, second = run_slice(jobs=2, cache_dir=str(cache_dir))
+        # Every task of the second run is served from the cache...
+        assert suite2.engine.counters.cache_misses == 0
+        assert suite2.engine.counters.cache_hits == len(
+            suite2.engine.counters.timings
+        )
+        # ...from byte-identical entries...
+        blobs_after_second = {
+            key: suite2.engine.cache.get_bytes(key) for key in keys
+        }
+        assert blobs_after_second == blobs_after_first
+        # ...decoding to identical counters.
+        for point in first:
+            assert signature(second[point]) == signature(first[point]), point
+
+    def test_cached_equals_uncached(self, tmp_path):
+        """A cache round-trip must not perturb any counter."""
+        _, uncached = run_slice(jobs=1)
+        _, cached = run_slice(jobs=1, cache_dir=str(tmp_path / "cache"))
+        for point in uncached:
+            assert signature(cached[point]) == signature(uncached[point]), point
+
+
+class TestSingleTaskPath:
+    def test_run_one_matches_batch(self, tmp_path):
+        """The inline single-task shortcut returns the same payload as a
+        pooled batch for the same key."""
+        task = Task(kind="simulate", benchmark="SPMV", design="gc", scale=SCALE)
+        inline = CampaignEngine(jobs=1).run_one(task)
+        pooled = CampaignEngine(jobs=2).run(
+            [task, Task(kind="simulate", benchmark="SD1", design="bs", scale=SCALE)]
+        )[0]
+        assert signature(inline) == signature(pooled)

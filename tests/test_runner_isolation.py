@@ -1,0 +1,100 @@
+"""Property test: worker/task isolation in the campaign engine.
+
+Shuffling task submission order must never change any per-benchmark
+result — this catches hidden shared mutable state (module-level RNG,
+counters or caches leaking between tasks), the classic way a "parallel
+speedup" silently changes reproduced numbers.  Each task is executed
+from a self-contained description in fresh policy/trace state, so any
+order (and any interleaving across processes) must yield bit-identical
+counters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runner import CampaignEngine, Task
+
+SCALE = 0.05
+SEED = 0
+
+#: The slice whose orderings we permute: stateful designs included (gc
+#: carries victim-bit/bypass-switch state; pdp-3 carries PD counters).
+GRID = [
+    ("SPMV", "bs"),
+    ("SPMV", "gc"),
+    ("BFS", "gc"),
+    ("BFS", "pdp-3"),
+    ("SD1", "bs"),
+    ("SD1", "gc"),
+]
+
+
+def make_task(benchmark: str, design: str) -> Task:
+    return Task(
+        kind="simulate", benchmark=benchmark, design=design, scale=SCALE, seed=SEED
+    )
+
+
+def signature(result):
+    return (
+        result.benchmark,
+        result.design,
+        result.cycles,
+        result.instructions,
+        tuple(sorted(result.l1.snapshot().items())),
+        tuple(sorted(result.l2.snapshot().items())),
+        result.avg_load_latency,
+        result.dram_requests,
+        result.dram_row_hit_rate,
+    )
+
+
+_baseline_memo = {}
+
+
+def baseline():
+    """Reference signatures from one serial run in grid order."""
+    if not _baseline_memo:
+        engine = CampaignEngine(jobs=1, cache=None)
+        results = engine.run([make_task(b, d) for b, d in GRID])
+        for (b, d), result in zip(GRID, results):
+            _baseline_memo[(b, d)] = signature(result)
+    return _baseline_memo
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(order=st.permutations(list(range(len(GRID)))))
+def test_submission_order_never_changes_results(order):
+    expected = baseline()
+    engine = CampaignEngine(jobs=1, cache=None)
+    shuffled = [GRID[i] for i in order]
+    results = engine.run([make_task(b, d) for b, d in shuffled])
+    for point, result in zip(shuffled, results):
+        assert signature(result) == expected[point], (point, order)
+
+
+def test_parallel_workers_match_shuffled_serial():
+    """Worker processes see tasks in arbitrary order and interleaving;
+    their results must still match the serial baseline point-for-point."""
+    expected = baseline()
+    engine = CampaignEngine(jobs=3, cache=None)
+    shuffled = list(reversed(GRID))
+    results = engine.run([make_task(b, d) for b, d in shuffled])
+    for point, result in zip(shuffled, results):
+        assert signature(result) == expected[point], point
+
+
+def test_repeated_runs_in_one_process_are_stable():
+    """Back-to-back campaigns in one interpreter must agree — catches
+    state leaking *between* engine.run() batches."""
+    expected = baseline()
+    engine = CampaignEngine(jobs=1, cache=None)
+    again = engine.run([make_task(b, d) for b, d in GRID])
+    for point, result in zip(GRID, again):
+        assert signature(result) == expected[point], point
