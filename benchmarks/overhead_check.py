@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Disabled-tracing overhead check: head vs base on a micro-workload.
+
+The observability layer promises that a *non-traced* run (``obs=None``,
+the default) costs one attribute check per would-be emission site.  This
+script makes that promise enforceable: it times the same micro-workload
+against two source trees — the PR base and the PR head — in fresh
+subprocesses, and fails when the head is more than ``--threshold``
+slower.
+
+Each measurement imports the tree under test with ``PYTHONPATH`` set to
+its ``src/``, performs one warmup run, then takes the best of
+``--repeats`` timed runs (minimum-of-N is the standard noise filter for
+wall-clock comparisons: the minimum approaches the true cost, while
+means absorb scheduler hiccups).
+
+Usage::
+
+    # CI: compare two checkouts
+    python benchmarks/overhead_check.py --base base/src --head src
+
+    # Local: absolute timing of the current tree only
+    python benchmarks/overhead_check.py --head src
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+_WORKLOAD = r"""
+import json, time
+from repro.sim.config import GPUConfig
+from repro.sim.designs import make_design
+from repro.sim.simulator import simulate
+from repro.trace.suite import build_benchmark
+
+benchmark, scale, repeats = {benchmark!r}, {scale!r}, {repeats!r}
+config = GPUConfig()
+trace = build_benchmark(benchmark, scale=scale)
+design = make_design("gc")
+
+simulate(trace, config, design)  # warmup: imports, allocator, caches
+best = min(
+    (lambda t0: (simulate(trace, config, design), time.perf_counter() - t0)[1])(
+        time.perf_counter()
+    )
+    for _ in range(repeats)
+)
+print(json.dumps({{"best_seconds": best}}))
+"""
+
+
+def time_tree(src: str, benchmark: str, scale: float, repeats: int) -> float:
+    """Best-of-N wall time of the micro-workload against one source tree."""
+    env = dict(os.environ, PYTHONPATH=src)
+    code = _WORKLOAD.format(benchmark=benchmark, scale=scale, repeats=repeats)
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, check=True,
+        capture_output=True, text=True,
+    ).stdout
+    return float(json.loads(out.splitlines()[-1])["best_seconds"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--head", default="src",
+                        help="src/ of the tree under test")
+    parser.add_argument("--base", default=None,
+                        help="src/ of the comparison baseline; omit for "
+                             "absolute timing only")
+    parser.add_argument("--benchmark", default="SPMV")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--threshold", type=float, default=1.05,
+                        help="max allowed head/base wall-time ratio")
+    args = parser.parse_args()
+
+    head = time_tree(args.head, args.benchmark, args.scale, args.repeats)
+    print(f"head ({args.head}): {head:.3f}s "
+          f"[{args.benchmark} scale={args.scale}, best of {args.repeats}]")
+    if args.base is None:
+        return 0
+
+    base = time_tree(args.base, args.benchmark, args.scale, args.repeats)
+    ratio = head / base
+    print(f"base ({args.base}): {base:.3f}s")
+    print(f"ratio: {ratio:.3f} (threshold {args.threshold:.2f})")
+    if ratio > args.threshold:
+        print(f"FAIL: disabled-tracing overhead {100 * (ratio - 1):.1f}% "
+              f"exceeds {100 * (args.threshold - 1):.0f}%", file=sys.stderr)
+        return 1
+    print("OK: disabled-tracing overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

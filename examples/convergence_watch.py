@@ -5,6 +5,9 @@ Samples the simulator every few thousand cycles and prints per-window
 miss and bypass rates as sparklines: you can see the victim-bit
 contention detector warm up, the bypass switches arm, and the miss rate
 settle — the transient behaviour the end-of-run counters average away.
+The G-Cache run is additionally traced through ``repro.obs`` and closes
+with the event-level convergence report (time to first detection,
+per-set switch duty cycles, bypass-reason breakdown).
 
 Run:
     python examples/convergence_watch.py --benchmark SSC --scale 0.5
@@ -15,14 +18,15 @@ from __future__ import annotations
 import argparse
 
 from repro import GPUConfig, make_design
+from repro.obs import Observability
 from repro.sim.simulator import GPU
 from repro.stats.timeline import Timeline
 from repro.trace.suite import ALL_BENCHMARKS, build_benchmark
 
 
-def run_with_timeline(trace, config, design_key: str):
+def run_with_timeline(trace, config, design_key: str, obs=None):
     timeline = Timeline(interval=max(512, 64 * config.num_cores))
-    gpu = GPU(config, make_design(design_key), timeline=timeline)
+    gpu = GPU(config, make_design(design_key), timeline=timeline, obs=obs)
     result = gpu.run(trace)
     return result, timeline
 
@@ -37,7 +41,10 @@ def main() -> None:
     trace = build_benchmark(args.benchmark, scale=args.scale)
 
     for key in ("bs", "gc"):
-        result, timeline = run_with_timeline(trace, config, key)
+        # Trace the G-Cache run so the event stream can explain *why* the
+        # sparklines bend where they do.
+        obs = Observability.in_memory() if key == "gc" else None
+        result, timeline = run_with_timeline(trace, config, key, obs=obs)
         print(f"\n{key.upper()}  (final IPC {result.ipc:.3f}, "
               f"miss {result.l1.miss_rate:.1%}, "
               f"bypass {result.l1.bypass_ratio:.1%})")
@@ -49,6 +56,10 @@ def main() -> None:
             first, last = windows[0], windows[-1]
             print(f"  first window: miss {first.miss_rate:.1%}  "
                   f"last window: miss {last.miss_rate:.1%}")
+        if obs is not None:
+            print()
+            print(obs.diagnostics(end_cycle=result.cycles).render(top_sets=5))
+            obs.close()
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from repro.sim import (
 __version__ = "1.1.0"
 
 from repro.runner import CampaignEngine, ResultCache, Task  # noqa: E402
+from repro.obs import GCacheDiagnostics, Observability  # noqa: E402
 
 __all__ = [
     "GCacheConfig",
@@ -49,5 +50,7 @@ __all__ = [
     "CampaignEngine",
     "ResultCache",
     "Task",
+    "Observability",
+    "GCacheDiagnostics",
     "__version__",
 ]

@@ -25,6 +25,7 @@ from repro.cache.policies.base import (
     NullManagementPolicy,
 )
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.obs.events import EV_BYPASS, EV_EVICT, EV_FILL, EV_HIT, EV_MISS
 from repro.stats.counters import CacheStats
 
 __all__ = ["Cache", "LookupResult", "FillResult"]
@@ -110,6 +111,8 @@ class Cache:
         self.write_allocate = write_allocate
         self.replacement = replacement
         self.mgmt = mgmt if mgmt is not None else NullManagementPolicy()
+        #: Event bus when tracing is enabled (see repro.obs.wire).
+        self.obs = None
         self.stats = CacheStats()
         self.sets: List[List[CacheLine]] = [
             [CacheLine() for _ in range(ways)] for _ in range(num_sets)
@@ -165,11 +168,21 @@ class Cache:
                     self.stats.load_hits += 1
                 self.replacement.on_hit(ways, way, now)
                 self.mgmt.on_hit(self, set_index, way, now)
+                if self.obs is not None:
+                    self.obs.emit(
+                        EV_HIT, now, self.name,
+                        line=line_addr, set=set_index, way=way, write=is_write,
+                    )
                 return LookupResult(hit=True, set_index=set_index, way=way, line=line)
 
         if self._repl_misses:
             self.replacement.record_miss(set_index)
         self.mgmt.on_miss(self, set_index, now)
+        if self.obs is not None:
+            self.obs.emit(
+                EV_MISS, now, self.name,
+                line=line_addr, set=set_index, write=is_write,
+            )
         return LookupResult(hit=False, set_index=set_index)
 
     def fill(self, line_addr: int, now: int, ctx: Optional[FillContext] = None) -> FillResult:
@@ -194,6 +207,11 @@ class Cache:
         if decision is FillDecision.BYPASS:
             self.stats.bypasses += 1
             self.mgmt.on_bypass(self, set_index, ctx, now)
+            if self.obs is not None:
+                self.obs.emit(
+                    EV_BYPASS, now, self.name,
+                    line=line_addr, set=set_index, hint=ctx.victim_hint,
+                )
             return FillResult(set_index=set_index, bypassed=True)
 
         # Prefer an invalid way; otherwise ask the management policy, then
@@ -221,6 +239,12 @@ class Cache:
         self.stats.fills += 1
         self.replacement.on_fill(ways, way, now)
         self.mgmt.on_insert(self, set_index, way, ctx, now)
+        if self.obs is not None:
+            self.obs.emit(
+                EV_FILL, now, self.name,
+                line=line_addr, set=set_index, way=way,
+                hint=ctx.victim_hint, evicted=evicted_tag,
+            )
         return FillResult(
             set_index=set_index,
             inserted=True,
@@ -246,6 +270,12 @@ class Cache:
             self.stats.writebacks += 1
         self.stats.reuse.record(line.use_count)
         self.mgmt.on_evict(self, set_index, way, line, now)
+        if self.obs is not None:
+            self.obs.emit(
+                EV_EVICT, now, self.name,
+                line=line.tag, set=set_index, way=way,
+                uses=line.use_count, dirty=line.dirty,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle

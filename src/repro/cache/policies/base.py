@@ -53,9 +53,14 @@ class ManagementPolicy:
 
     All hooks are optional; the defaults implement "always insert, let the
     replacement policy pick victims", i.e. a conventional cache.
+
+    ``obs`` holds the run's event bus when tracing is enabled
+    (:func:`repro.obs.wire`); ``None`` — the default — disables all
+    emission at the cost of one attribute check per site.
     """
 
     name = "none"
+    obs = None
 
     def attach(self, cache: "Cache") -> None:
         """Called once when the policy is bound to its cache."""

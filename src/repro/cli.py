@@ -6,12 +6,19 @@ Subcommands:
 * ``compare`` — run several designs on one benchmark side by side.
 * ``campaign`` — run a benchmark x design matrix through the parallel
   campaign engine (``--jobs``) with the persistent result cache.
+* ``trace`` — run one benchmark with event tracing and export a
+  Perfetto/Chrome ``trace_event`` JSON (or JSONL) file.
+* ``profile`` — run one benchmark with in-memory tracing and print the
+  G-Cache convergence report plus the metrics snapshot.
 * ``list`` — enumerate benchmarks and designs.
 
 Examples::
 
     python -m repro list
     python -m repro run --benchmark SPMV --design gc --scale 0.5
+    python -m repro run --benchmark SSC --trace ssc.json --timeline-csv ssc.csv
+    python -m repro trace --benchmark SPMV --design gcache -o spmv.json
+    python -m repro profile --benchmark SSC --scale 0.5
     python -m repro compare --benchmark SSC --designs bs,bs-s,gc
     python -m repro campaign --benchmarks SPMV,KMN,SSC --jobs 8 \\
         --cache-dir ~/.cache/repro --manifest run.json
@@ -27,15 +34,28 @@ from typing import List, Optional
 
 from repro.experiments.common import EvalSuite, sweep_optimal_pd
 from repro.experiments.fig8_speedup import render_fig8
+from repro.obs import Observability
+from repro.obs.events import EVENT_KINDS
 from repro.runner import CampaignEngine, ResultCache
 from repro.sim.config import GPUConfig
 from repro.sim.designs import DESIGN_KEYS, make_design
 from repro.sim.simulator import simulate
 from repro.stats.energy import EnergyModel
-from repro.stats.report import Table
+from repro.stats.report import Table, render_metrics
+from repro.stats.timeline import Timeline
 from repro.trace.suite import ALL_BENCHMARKS, build_benchmark, sensitivity_of
 
 __all__ = ["main"]
+
+#: Friendly aliases accepted anywhere a design key is (the paper's scheme
+#: is widely called "G-Cache"; ``gcache`` reads better on the CLI).
+DESIGN_ALIASES = {"gcache": "gc", "gcache-m": "gc-m", "baseline": "bs"}
+
+
+def _design_key(name: str) -> str:
+    """Normalise a ``--design`` argument, resolving friendly aliases."""
+    key = name.strip().lower()
+    return DESIGN_ALIASES.get(key, key)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -115,11 +135,30 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_observability(path: Path, kinds=None) -> Observability:
+    """Build the file-backed Observability for a ``--trace`` export.
+
+    A ``.jsonl`` suffix selects the line-delimited stream; anything else
+    gets the Perfetto/Chrome ``trace_event`` JSON.
+    """
+    if path.suffix == ".jsonl":
+        return Observability.to_jsonl(path, kinds=kinds)
+    return Observability.to_perfetto(path, kinds=kinds)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
     trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     design = _design(args.design, trace, config)
-    result = simulate(trace, config, design)
+    timeline = Timeline() if args.timeline_csv is not None else None
+    obs = _trace_observability(args.trace) if args.trace is not None else None
+    result = simulate(trace, config, design, timeline=timeline, obs=obs)
+    if obs is not None:
+        obs.close()
+        print(f"[trace] {args.trace}")
+    if timeline is not None:
+        args.timeline_csv.write_text(timeline.to_csv() + "\n")
+        print(f"[timeline] {args.timeline_csv} ({len(timeline.windows())} windows)")
     energy = EnergyModel().evaluate(result)
 
     print(f"{trace.name} on {config.describe()} under {design.label}")
@@ -139,7 +178,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    keys = [k.strip() for k in args.designs.split(",") if k.strip()]
+    keys = [_design_key(k) for k in args.designs.split(",") if k.strip()]
     unknown = [k for k in keys if k not in DESIGN_KEYS]
     if unknown:
         print(f"unknown designs: {unknown}; known: {DESIGN_KEYS}", file=sys.stderr)
@@ -178,8 +217,53 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    config = _config(args)
+    trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    design = _design(args.design, trace, config)
+    kinds = None
+    if args.kinds:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        unknown = [k for k in kinds if k not in EVENT_KINDS]
+        if unknown:
+            print(f"unknown event kinds: {unknown}; known: {list(EVENT_KINDS)}",
+                  file=sys.stderr)
+            return 2
+    obs = _trace_observability(args.output, kinds=kinds)
+    result = simulate(trace, config, design, obs=obs)
+    obs.close()
+
+    bus = obs.bus
+    print(f"{trace.name} under {design.label}: "
+          f"{bus.events_emitted:,} events -> {args.output}")
+    if bus.events_dropped:
+        print(f"[trace] {bus.events_dropped:,} events dropped by --kinds filter")
+    print(f"IPC {result.ipc:.3f}, L1 miss {result.l1.miss_rate:.1%}, "
+          f"{result.cycles:,} cycles")
+    if args.output.suffix != ".jsonl":
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    config = _config(args)
+    trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    design = _design(args.design, trace, config)
+    obs = Observability.in_memory()
+    result = simulate(trace, config, design, obs=obs)
+
+    print(f"{trace.name} on {config.describe()} under {design.label}")
+    print()
+    diag = obs.diagnostics(end_cycle=result.cycles)
+    print(diag.render(top_sets=args.top_sets))
+    print()
+    print(render_metrics(result.extras["metrics"], title="metrics snapshot"))
+    obs.close()
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
-    keys = [k.strip() for k in args.designs.split(",") if k.strip()]
+    keys = [_design_key(k) for k in args.designs.split(",") if k.strip()]
     unknown = [k for k in keys if k not in DESIGN_KEYS]
     if unknown:
         print(f"unknown designs: {unknown}; known: {DESIGN_KEYS}", file=sys.stderr)
@@ -219,7 +303,37 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_parser = sub.add_parser("run", help="simulate one benchmark/design")
     _add_common(run_parser)
-    run_parser.add_argument("--design", default="gc", choices=DESIGN_KEYS)
+    run_parser.add_argument("--design", default="gc", type=_design_key,
+                            choices=DESIGN_KEYS)
+    run_parser.add_argument("--timeline-csv", type=Path, default=None,
+                            metavar="PATH",
+                            help="write windowed IPC/miss/bypass rates as CSV")
+    run_parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                            help="export an event trace (Perfetto JSON, or "
+                                 "JSONL when PATH ends in .jsonl)")
+
+    trace_parser = sub.add_parser(
+        "trace", help="run with event tracing and export a Perfetto/JSONL trace"
+    )
+    _add_common(trace_parser)
+    trace_parser.add_argument("--design", default="gc", type=_design_key,
+                              choices=DESIGN_KEYS)
+    trace_parser.add_argument("-o", "--output", type=Path, required=True,
+                              metavar="PATH",
+                              help="trace file (Perfetto JSON, or JSONL when "
+                                   "PATH ends in .jsonl)")
+    trace_parser.add_argument("--kinds", default="",
+                              help="comma-separated event-kind whitelist "
+                                   "(default: record everything)")
+
+    prof_parser = sub.add_parser(
+        "profile", help="print the G-Cache convergence report and metrics"
+    )
+    _add_common(prof_parser)
+    prof_parser.add_argument("--design", default="gc", type=_design_key,
+                             choices=DESIGN_KEYS)
+    prof_parser.add_argument("--top-sets", type=int, default=10,
+                             help="per-set duty-cycle rows to print")
 
     cmp_parser = sub.add_parser("compare", help="compare designs on one benchmark")
     _add_common(cmp_parser)
@@ -241,6 +355,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "campaign":
         return cmd_campaign(args)
     return cmd_compare(args)

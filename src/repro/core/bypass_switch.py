@@ -52,15 +52,21 @@ class BypassSwitchArray:
     def turn_off(self, set_index: int) -> None:
         self._switches[set_index] = False
 
-    def tick(self) -> None:
-        """Advance the access clock; reset all switches on period expiry."""
+    def tick(self) -> bool:
+        """Advance the access clock; reset all switches on period expiry.
+
+        Returns ``True`` when this tick triggered a periodic shutdown, so
+        the owning policy can trace the transition with its timestamp.
+        """
         if self.shutdown_interval == 0:
-            return
+            return False
         self._ticks += 1
         if self._ticks >= self.shutdown_interval:
             self._ticks = 0
             self.reset_all()
             self.shutdowns += 1
+            return True
+        return False
 
     def reset_all(self) -> None:
         for i in range(self.num_sets):

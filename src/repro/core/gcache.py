@@ -36,6 +36,12 @@ from repro.cache.policies.base import (
 )
 from repro.cache.replacement.rrip import SRRIPPolicy
 from repro.core.bypass_switch import BypassSwitchArray
+from repro.obs.events import (
+    EV_BYPASS_DECISION,
+    EV_M_ADAPT,
+    EV_SWITCH_ON,
+    EV_SWITCH_SHUTDOWN,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.cache import Cache
@@ -162,13 +168,19 @@ class GCachePolicy(ManagementPolicy):
     # ------------------------------------------------------------------
     # Access hooks
     # ------------------------------------------------------------------
-    def on_hit(self, cache: "Cache", set_index: int, way: int, now: int) -> None:
+    def _tick(self, cache: "Cache", now: int) -> None:
         assert self.switches is not None
-        self.switches.tick()
+        if self.switches.tick() and self.obs is not None:
+            self.obs.emit(
+                EV_SWITCH_SHUTDOWN, now, cache.name,
+                interval=self.config.shutdown_interval,
+            )
+
+    def on_hit(self, cache: "Cache", set_index: int, way: int, now: int) -> None:
+        self._tick(cache, now)
 
     def on_miss(self, cache: "Cache", set_index: int, now: int) -> None:
-        assert self.switches is not None
-        self.switches.tick()
+        self._tick(cache, now)
 
     # ------------------------------------------------------------------
     # Fill path
@@ -191,14 +203,24 @@ class GCachePolicy(ManagementPolicy):
         if ctx.victim_hint:
             self.hint_fills += 1
             self._epoch_hints += 1
+            if self.obs is not None and not self.switches.is_on(set_index):
+                self.obs.emit(EV_SWITCH_ON, now, cache.name, set=set_index)
             self.switches.turn_on(set_index)
-        self._maybe_adapt_m()
+        self._maybe_adapt_m(cache, now)
 
         if not self.switches.is_on(set_index):
             return FillDecision.INSERT
 
         threshold = self.th_hot_victim if ctx.victim_hint else self.th_hot
         if self._all_hot(cache, set_index, threshold):
+            if self.obs is not None:
+                self.obs.emit(
+                    EV_BYPASS_DECISION, now, cache.name,
+                    set=set_index,
+                    reason="all_hot_victim_th" if ctx.victim_hint else "all_hot",
+                    threshold=threshold,
+                    m=self.m,
+                )
             return FillDecision.BYPASS
         return FillDecision.INSERT
 
@@ -240,7 +262,7 @@ class GCachePolicy(ManagementPolicy):
     # ------------------------------------------------------------------
     # M-th bypass adaptation (Section 5.1 extension)
     # ------------------------------------------------------------------
-    def _maybe_adapt_m(self) -> None:
+    def _maybe_adapt_m(self, cache: "Cache", now: int) -> None:
         """Adapt M from L2 contention feedback once per epoch.
 
         Heuristic: when contention hints remain frequent *while* bypassing
@@ -259,6 +281,11 @@ class GCachePolicy(ManagementPolicy):
         else:
             self.m = max(1, self.m // 2)
         self.m_history.append(self.m)
+        if self.obs is not None:
+            self.obs.emit(
+                EV_M_ADAPT, now, cache.name,
+                m=self.m, hint_rate=hint_rate, bypass_rate=bypass_rate,
+            )
         self._epoch_fills = 0
         self._epoch_hints = 0
         self._epoch_bypasses = 0

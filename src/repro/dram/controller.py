@@ -16,6 +16,7 @@ from typing import List
 
 from repro.dram.bank import DRAMBank
 from repro.dram.timing import GDDR5Timing
+from repro.obs.events import EV_DRAM_ROW_HIT, EV_DRAM_ROW_MISS
 
 __all__ = ["MemoryController"]
 
@@ -58,6 +59,8 @@ class MemoryController:
         ]
         self.bus_next_free = 0
         self.last_activate_any = -(10**9)
+        #: Event bus when tracing is enabled (see repro.obs.wire).
+        self.obs = None
         self.reads = 0
         self.writes = 0
 
@@ -83,8 +86,15 @@ class MemoryController:
         bank_idx, row = self.map(partition_line_addr)
         bank = self.banks[bank_idx]
         rrd_gate = self.last_activate_any + self.timing.tRRD
+        hits_before = bank.row_hits
         data_at = bank.service(now, row, rrd_gate=rrd_gate)
         self.last_activate_any = max(self.last_activate_any, bank.last_activate)
+        if self.obs is not None:
+            self.obs.emit(
+                EV_DRAM_ROW_HIT if bank.row_hits > hits_before else EV_DRAM_ROW_MISS,
+                now, f"MC[{self.mc_id}]",
+                bank=bank_idx, row=row, write=is_write,
+            )
         # Serialize the 128 B burst on the shared channel data bus.
         start = max(data_at, self.bus_next_free)
         done = start + self.timing.burst_cycles

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from repro.gpu.coalescer import Coalescer
 from repro.gpu.schedulers import make_scheduler
 from repro.gpu.warp import Warp
+from repro.obs.events import EV_CTA_DONE, EV_CTA_LAUNCH
 from repro.sim.config import GPUConfig
 from repro.sim.memory_system import MemorySystem
 from repro.trace.trace import (
@@ -55,6 +56,8 @@ class SIMTCore:
         self._next_slot = 0
         self.scratchpad_used = 0
 
+        #: Event bus when tracing is enabled (see repro.obs.wire).
+        self.obs = None
         self.instructions = 0
         self.finish_time = 0
         self._age_counter = 0
@@ -102,16 +105,23 @@ class SIMTCore:
         self._cta_waiting[slot] = 0
         self._cta_scratchpad[slot] = scratchpad
         self.scratchpad_used += scratchpad
+        if self.obs is not None:
+            self.obs.emit(
+                EV_CTA_LAUNCH, now, f"core[{self.core_id}]",
+                slot=slot, warps=cta.num_warps,
+            )
         if live == 0:
-            self._complete_cta(slot)
+            self._complete_cta(slot, now)
 
-    def _complete_cta(self, slot: int) -> None:
+    def _complete_cta(self, slot: int, now: int) -> None:
         self.scratchpad_used -= self._cta_scratchpad.pop(slot)
         del self._cta_remaining[slot]
         del self._cta_waiting[slot]
         # Prune retired warps so scheduler scans stay short.
         self.warps = [w for w in self.warps if not w.done]
         self.completed_cta = True
+        if self.obs is not None:
+            self.obs.emit(EV_CTA_DONE, now, f"core[{self.core_id}]", slot=slot)
 
     # ------------------------------------------------------------------
     # Barrier handling
@@ -215,7 +225,7 @@ class SIMTCore:
             slot = warp.cta_slot
             self._cta_remaining[slot] -= 1
             if self._cta_remaining[slot] == 0:
-                self._complete_cta(slot)
+                self._complete_cta(slot, now)
             else:
                 # A finished warp can be the last arrival its siblings
                 # were waiting on.

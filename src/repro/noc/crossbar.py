@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.obs.events import EV_NOC_DEQUEUE, EV_NOC_ENQUEUE
+
 __all__ = ["CrossbarNoC"]
 
 
@@ -53,6 +55,8 @@ class CrossbarNoC:
         # cores for the response side.
         self._to_partition_free: Dict[int, int] = {}
         self._to_core_free: Dict[int, int] = {}
+        #: Event bus when tracing is enabled (see repro.obs.wire).
+        self.obs = None
         self.packets_sent = 0
         self.total_hops = 0  # kept for interface parity (1 "hop" each)
 
@@ -61,7 +65,16 @@ class CrossbarNoC:
         self.total_hops += 1
         depart = max(start, free.get(port, 0))
         free[port] = depart + flits
-        return depart + self.traversal_latency + flits - 1
+        arrive = depart + self.traversal_latency + flits - 1
+        if self.obs is not None:
+            self.obs.emit(
+                EV_NOC_ENQUEUE, start, "noc", port=port, flits=flits,
+            )
+            self.obs.emit(
+                EV_NOC_DEQUEUE, arrive, "noc", port=port,
+                latency=arrive - start,
+            )
+        return arrive
 
     def send_request(self, core_id: int, partition_id: int, start: int) -> int:
         self._validate(core_id, partition_id)

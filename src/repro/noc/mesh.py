@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
+from repro.obs.events import EV_NOC_DEQUEUE, EV_NOC_ENQUEUE
+
 __all__ = ["MeshNoC"]
 
 
@@ -58,6 +60,8 @@ class MeshNoC:
             (i // self.cols, i % self.cols) for i in range(self.num_nodes)
         ]
         self._link_free: Dict[Tuple[int, int], int] = {}
+        #: Event bus when tracing is enabled (see repro.obs.wire).
+        self.obs = None
         self.packets_sent = 0
         self.total_hops = 0
 
@@ -115,25 +119,41 @@ class MeshNoC:
         # The tail flit trails the head by the serialization length.
         return t + flits - 1
 
+    def _traced_send(
+        self, src_node: int, dst_node: int, start: int, flits: int, kind: str
+    ) -> int:
+        arrive = self.send(src_node, dst_node, start, flits)
+        if self.obs is not None:
+            self.obs.emit(
+                EV_NOC_ENQUEUE, start, "noc",
+                src_node=src_node, dst_node=dst_node, flits=flits, packet=kind,
+            )
+            self.obs.emit(
+                EV_NOC_DEQUEUE, arrive, "noc",
+                src_node=src_node, dst_node=dst_node, packet=kind,
+                latency=arrive - start,
+            )
+        return arrive
+
     def send_request(self, core_id: int, partition_id: int, start: int) -> int:
         """Core -> L2 bank control packet (read request / write header)."""
-        return self.send(
+        return self._traced_send(
             self.core_node(core_id), self.partition_node(partition_id), start,
-            self.ctrl_flits,
+            self.ctrl_flits, "request",
         )
 
     def send_data_request(self, core_id: int, partition_id: int, start: int) -> int:
         """Core -> L2 bank packet carrying write data."""
-        return self.send(
+        return self._traced_send(
             self.core_node(core_id), self.partition_node(partition_id), start,
-            self.data_flits,
+            self.data_flits, "data_request",
         )
 
     def send_response(self, partition_id: int, core_id: int, start: int) -> int:
         """L2 bank -> core data response (carries the victim-bit hint)."""
-        return self.send(
+        return self._traced_send(
             self.partition_node(partition_id), self.core_node(core_id), start,
-            self.data_flits,
+            self.data_flits, "response",
         )
 
     @property

@@ -1,0 +1,190 @@
+"""Convergence diagnostics for the G-Cache control loop.
+
+:class:`GCacheDiagnostics` consumes an event stream (typically a
+:class:`~repro.obs.sinks.RingBufferSink` filled during a traced run) and
+reconstructs the *transient* behaviour the end-of-run counters average
+away:
+
+* **per-set switch duty cycle** — fraction of the run each L1 set spent
+  with its bypass switch on, rebuilt from ``switch.on`` /
+  ``switch.shutdown`` / ``switch.off`` events;
+* **time-to-first-detection** — cycle of the first contention hint
+  (victim bit already set) per L1, i.e. how long the detector warms up;
+* **bypass-reason breakdown** — why each bypassed fill bypassed
+  (all-hot under the normal vs the victim threshold);
+* **adaptive-M trajectory** — every ``gcache.m_adapt`` step.
+
+The analyzer is pure post-processing: it never touches the simulator and
+works on any event iterable (ring buffer, parsed JSONL, hand-built lists
+in tests).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import (
+    EV_BYPASS_DECISION,
+    EV_M_ADAPT,
+    EV_SWITCH_OFF,
+    EV_SWITCH_ON,
+    EV_SWITCH_SHUTDOWN,
+    EV_VICTIM_SET,
+    Event,
+)
+from repro.stats.report import Table
+
+__all__ = ["GCacheDiagnostics"]
+
+
+class GCacheDiagnostics:
+    """Analyzes a traced run's G-Cache convergence behaviour.
+
+    Args:
+        events: Event stream (any iterable of :class:`Event`).
+        end_cycle: Cycle at which the run ended; switches still on are
+            credited with on-time up to this point.  Defaults to the
+            largest event cycle seen.
+    """
+
+    def __init__(self, events: Iterable[Event], end_cycle: Optional[int] = None) -> None:
+        events = sorted(events, key=lambda e: (e.cycle, e.seq))
+        self.num_events = len(events)
+        self.end_cycle = end_cycle if end_cycle is not None else (
+            events[-1].cycle if events else 0
+        )
+
+        # (l1, set) -> accumulated on-cycles; and currently-on start cycles.
+        on_time: Dict[Tuple[str, int], int] = defaultdict(int)
+        on_since: Dict[Tuple[str, int], int] = {}
+        activations: Counter = Counter()
+        first_detection: Dict[str, int] = {}
+        first_activation: Dict[str, int] = {}
+        reasons: Counter = Counter()
+        m_steps: List[Tuple[int, int]] = []
+        shutdowns = 0
+
+        for ev in events:
+            if ev.kind == EV_SWITCH_ON:
+                key = (ev.src, ev.args.get("set", 0))
+                if key not in on_since:
+                    on_since[key] = ev.cycle
+                activations[key] += 1
+                first_activation.setdefault(ev.src, ev.cycle)
+            elif ev.kind == EV_SWITCH_OFF:
+                key = (ev.src, ev.args.get("set", 0))
+                start = on_since.pop(key, None)
+                if start is not None:
+                    on_time[key] += ev.cycle - start
+            elif ev.kind == EV_SWITCH_SHUTDOWN:
+                shutdowns += 1
+                for key in [k for k in on_since if k[0] == ev.src]:
+                    on_time[key] += ev.cycle - on_since.pop(key)
+            elif ev.kind == EV_VICTIM_SET:
+                if ev.args.get("hint"):
+                    first_detection.setdefault(ev.args.get("l1", ev.src), ev.cycle)
+            elif ev.kind == EV_BYPASS_DECISION:
+                reasons[ev.args.get("reason", "unknown")] += 1
+            elif ev.kind == EV_M_ADAPT:
+                m_steps.append((ev.cycle, ev.args.get("m", 0)))
+
+        # Close out switches still on at end of run.
+        for key, start in on_since.items():
+            on_time[key] += max(0, self.end_cycle - start)
+
+        self._on_time = dict(on_time)
+        self._activations = activations
+        self.shutdowns = shutdowns
+        self.first_detection = first_detection
+        self.first_activation = first_activation
+        self.bypass_reasons = dict(reasons)
+        self.m_trajectory = m_steps
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def duty_cycles(self) -> Dict[Tuple[str, int], float]:
+        """Per-(L1, set) switch duty cycle over the observed run."""
+        if not self.end_cycle:
+            return {key: 0.0 for key in self._on_time}
+        return {
+            key: min(1.0, cycles / self.end_cycle)
+            for key, cycles in self._on_time.items()
+        }
+
+    def set_duty_cycles(self) -> Dict[int, float]:
+        """Duty cycle per set index, averaged across L1 instances."""
+        per_set: Dict[int, List[float]] = defaultdict(list)
+        for (_, set_index), duty in self.duty_cycles().items():
+            per_set[set_index].append(duty)
+        return {s: sum(v) / len(v) for s, v in sorted(per_set.items())}
+
+    @property
+    def time_to_first_detection(self) -> Optional[int]:
+        """Cycle of the earliest contention hint across all L1s."""
+        return min(self.first_detection.values()) if self.first_detection else None
+
+    @property
+    def total_bypasses(self) -> int:
+        return sum(self.bypass_reasons.values())
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, top_sets: int = 10) -> str:
+        """Multi-table convergence report for terminal output."""
+        lines: List[str] = []
+
+        summary = Table(["metric", "value"], title="G-Cache convergence")
+        summary.row(["events analyzed", f"{self.num_events:,}"])
+        summary.row(["run length", f"{self.end_cycle:,} cycles"])
+        ttfd = self.time_to_first_detection
+        summary.row(
+            ["time to first detection",
+             f"cycle {ttfd:,}" if ttfd is not None else "never"]
+        )
+        summary.row(["L1s that detected contention", str(len(self.first_detection))])
+        summary.row(["switch activations", str(sum(self._activations.values()))])
+        summary.row(["periodic shutdowns", str(self.shutdowns)])
+        summary.row(["bypassed fills (traced)", str(self.total_bypasses)])
+        lines.append(summary.render())
+
+        if self.bypass_reasons:
+            t = Table(["bypass reason", "count", "share"], title="Bypass reasons")
+            for reason, count in sorted(
+                self.bypass_reasons.items(), key=lambda kv: -kv[1]
+            ):
+                t.row([reason, str(count), f"{count / self.total_bypasses:.1%}"])
+            lines.append("")
+            lines.append(t.render())
+
+        set_duty = self.set_duty_cycles()
+        if set_duty:
+            t = Table(
+                ["set", "duty cycle", "activations"],
+                title=f"Per-set switch duty cycle (top {top_sets})",
+            )
+            per_set_act: Counter = Counter()
+            for (_, set_index), n in self._activations.items():
+                per_set_act[set_index] += n
+            ranked = sorted(set_duty.items(), key=lambda kv: -kv[1])[:top_sets]
+            for set_index, duty in ranked:
+                t.row([str(set_index), f"{duty:.1%}", str(per_set_act[set_index])])
+            lines.append("")
+            lines.append(t.render())
+
+        if self.m_trajectory:
+            traj = " -> ".join(str(m) for _, m in self.m_trajectory[:16])
+            if len(self.m_trajectory) > 16:
+                traj += " ..."
+            lines.append("")
+            lines.append(f"adaptive-M trajectory: {traj}")
+
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<GCacheDiagnostics {self.num_events} events, "
+            f"{len(self._on_time)} switched sets>"
+        )

@@ -1,0 +1,192 @@
+"""Typed simulation events and the event bus.
+
+The observability layer is *pull-free*: instrumented components hold an
+``obs`` attribute that is ``None`` by default, and every emission site is
+guarded by ``if self.obs is not None``.  A disabled run therefore costs
+one attribute load and one branch per would-be event — no event objects,
+no dict packing, no sink dispatch — which is what keeps the tracing-off
+overhead within the <5 % budget enforced by CI.
+
+Events are flat records ``(kind, cycle, src, args)``:
+
+* ``kind`` — one of the ``EV_*`` constants below (the event taxonomy),
+* ``cycle`` — simulated core cycle at which the event takes effect.
+  Because the timing model computes completion times inline, events are
+  emitted in *causal* order, not globally sorted by cycle; every event
+  also carries a monotonically increasing ``seq`` so sinks and the
+  diagnostics layer can recover a stable order.
+* ``src`` — the emitting component (``"L1[3]"``, ``"noc"``, ``"MC[1]"``),
+* ``args`` — kind-specific payload (set index, reason string, ...).
+
+See docs/observability.md for the full taxonomy and payload schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EVENT_KINDS",
+    # cache events
+    "EV_HIT",
+    "EV_MISS",
+    "EV_FILL",
+    "EV_BYPASS",
+    "EV_EVICT",
+    # G-Cache control-loop events
+    "EV_BYPASS_DECISION",
+    "EV_VICTIM_SET",
+    "EV_VICTIM_CLEAR",
+    "EV_SWITCH_ON",
+    "EV_SWITCH_OFF",
+    "EV_SWITCH_SHUTDOWN",
+    "EV_M_ADAPT",
+    # MSHR events
+    "EV_MSHR_ALLOC",
+    "EV_MSHR_MERGE",
+    "EV_MSHR_STALL",
+    # interconnect / DRAM events
+    "EV_NOC_ENQUEUE",
+    "EV_NOC_DEQUEUE",
+    "EV_DRAM_ROW_HIT",
+    "EV_DRAM_ROW_MISS",
+    # core events
+    "EV_CTA_LAUNCH",
+    "EV_CTA_DONE",
+]
+
+# --- Event taxonomy ---------------------------------------------------
+# Cache array events (any cache).
+EV_HIT = "cache.hit"
+EV_MISS = "cache.miss"
+EV_FILL = "cache.fill"
+EV_BYPASS = "cache.bypass"
+EV_EVICT = "cache.evict"
+
+# G-Cache control loop (L1 management policy + L2 victim directory).
+EV_BYPASS_DECISION = "gcache.bypass_decision"
+EV_VICTIM_SET = "victim.set"
+EV_VICTIM_CLEAR = "victim.clear"
+EV_SWITCH_ON = "switch.on"
+EV_SWITCH_OFF = "switch.off"
+EV_SWITCH_SHUTDOWN = "switch.shutdown"
+EV_M_ADAPT = "gcache.m_adapt"
+
+# MSHR file.
+EV_MSHR_ALLOC = "mshr.alloc"
+EV_MSHR_MERGE = "mshr.merge"
+EV_MSHR_STALL = "mshr.stall"
+
+# Interconnect and DRAM.
+EV_NOC_ENQUEUE = "noc.enqueue"
+EV_NOC_DEQUEUE = "noc.dequeue"
+EV_DRAM_ROW_HIT = "dram.row_hit"
+EV_DRAM_ROW_MISS = "dram.row_miss"
+
+# SIMT core lifecycle.
+EV_CTA_LAUNCH = "core.cta_launch"
+EV_CTA_DONE = "core.cta_done"
+
+#: Every known event kind (docs + validation).
+EVENT_KINDS = (
+    EV_HIT,
+    EV_MISS,
+    EV_FILL,
+    EV_BYPASS,
+    EV_EVICT,
+    EV_BYPASS_DECISION,
+    EV_VICTIM_SET,
+    EV_VICTIM_CLEAR,
+    EV_SWITCH_ON,
+    EV_SWITCH_OFF,
+    EV_SWITCH_SHUTDOWN,
+    EV_M_ADAPT,
+    EV_MSHR_ALLOC,
+    EV_MSHR_MERGE,
+    EV_MSHR_STALL,
+    EV_NOC_ENQUEUE,
+    EV_NOC_DEQUEUE,
+    EV_DRAM_ROW_HIT,
+    EV_DRAM_ROW_MISS,
+    EV_CTA_LAUNCH,
+    EV_CTA_DONE,
+)
+
+
+class Event:
+    """One simulation event (immutable by convention)."""
+
+    __slots__ = ("kind", "cycle", "src", "seq", "args")
+
+    def __init__(self, kind: str, cycle: int, src: str, seq: int, args: Dict) -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.src = src
+        self.seq = seq
+        self.args = args
+
+    def as_dict(self) -> Dict:
+        """Plain-dict view (JSONL sink / tests)."""
+        return {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "src": self.src,
+            "seq": self.seq,
+            **self.args,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Event #{self.seq} {self.kind}@{self.cycle} {self.src} {self.args}>"
+
+
+class EventBus:
+    """Dispatches events to attached sinks.
+
+    Args:
+        sinks: Initial sink list; each sink needs ``write(event)`` and
+            ``close()`` (see :mod:`repro.obs.sinks`).
+        kinds: Optional whitelist of event kinds to record; ``None``
+            records everything.  Filtering at the bus keeps call sites
+            unconditional.
+    """
+
+    def __init__(
+        self,
+        sinks: Optional[Iterable] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.sinks: List = list(sinks) if sinks is not None else []
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self._seq = 0
+        self.events_emitted = 0
+        self.events_dropped = 0
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, kind: str, cycle: int, src: str, **args) -> None:
+        """Record one event; called only from enabled (obs-wired) paths."""
+        if self._kinds is not None and kind not in self._kinds:
+            self.events_dropped += 1
+            return
+        event = Event(kind, cycle, src, self._seq, args)
+        self._seq += 1
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.write(event)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close(self) -> None:
+        """Flush and close every sink (end of run)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EventBus {len(self.sinks)} sinks, {self.events_emitted} events>"

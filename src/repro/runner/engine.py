@@ -38,6 +38,24 @@ from repro.stats.campaign import CampaignCounters, TaskTiming
 __all__ = ["CampaignEngine", "run_campaign"]
 
 
+def _payload_metrics(payload: Any) -> Optional[Dict[str, Any]]:
+    """Pull the namespaced metrics snapshot out of a task payload.
+
+    Simulation payloads are :class:`~repro.sim.simulator.RunResult`
+    objects carrying ``extras["metrics"]``; cache entries written before
+    the metrics registry existed (or non-simulation payloads) yield
+    ``None``.  Duck-typed so the runner stays import-free of the sim.
+    """
+    extras = getattr(payload, "extras", None)
+    if extras is None and isinstance(payload, dict):
+        extras = payload
+    if isinstance(extras, dict):
+        metrics = extras.get("metrics")
+        if isinstance(metrics, dict):
+            return metrics
+    return None
+
+
 class CampaignEngine:
     """Executes campaign tasks in parallel, behind the persistent cache.
 
@@ -86,7 +104,8 @@ class CampaignEngine:
             if hit is not MISS:
                 payloads[key] = hit
                 self.counters.record(
-                    TaskTiming(label=task.label, key=key, cached=True, seconds=0.0)
+                    TaskTiming(label=task.label, key=key, cached=True,
+                               seconds=0.0, metrics=_payload_metrics(hit))
                 )
             else:
                 pending.append(task)
@@ -127,7 +146,8 @@ class CampaignEngine:
         if self.cache is not None:
             self.cache.put(key, payload)
         self.counters.record(
-            TaskTiming(label=task.label, key=key, cached=False, seconds=seconds)
+            TaskTiming(label=task.label, key=key, cached=False,
+                       seconds=seconds, metrics=_payload_metrics(payload))
         )
 
     def run_one(self, task: Task) -> Any:
@@ -157,6 +177,9 @@ class CampaignEngine:
                     "key": t.key,
                     "cached": t.cached,
                     "seconds": round(t.seconds, 6),
+                    # Per-task metrics snapshot (repro.obs.metrics); None
+                    # for payloads that carry none.
+                    "metrics": t.metrics,
                 }
                 for t in self.counters.timings
             ],

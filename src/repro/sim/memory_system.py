@@ -27,6 +27,13 @@ from repro.core.victim_bits import VictimBitDirectory
 from repro.dram.controller import MemoryController
 from repro.noc.crossbar import CrossbarNoC
 from repro.noc.mesh import MeshNoC
+from repro.obs.events import (
+    EV_MSHR_ALLOC,
+    EV_MSHR_MERGE,
+    EV_MSHR_STALL,
+    EV_VICTIM_CLEAR,
+    EV_VICTIM_SET,
+)
 from repro.sim.addressing import AddressMap
 from repro.sim.config import GPUConfig
 from repro.sim.designs import DesignSpec
@@ -125,6 +132,9 @@ class MemorySystem:
         self._l2_port_free = [0] * p
         self._aou_free = [0] * p
 
+        #: Event bus when tracing is enabled (see repro.obs.wire).
+        self.obs = None
+
         # Diagnostics.
         self.load_latency_sum = 0
         self.load_count = 0
@@ -180,6 +190,16 @@ class MemorySystem:
             )
             if fill.writeback:
                 mc.request(fill.evicted_tag, dram_done, is_write=True)
+            if (
+                self.obs is not None
+                and self.victim_dir is not None
+                and fill.evicted_tag != -1
+            ):
+                # The evicted L2 line's victim bits die with it (Fig. 6).
+                self.obs.emit(
+                    EV_VICTIM_CLEAR, dram_done, f"L2[{part}]",
+                    line=fill.evicted_tag, set=fill.set_index,
+                )
             data_time = dram_done
             if fill.inserted or fill.already_present:
                 line = bank.sets[fill.set_index][fill.way]
@@ -189,6 +209,12 @@ class MemorySystem:
         hint = False
         if self.victim_dir is not None and not is_write and line is not None:
             hint = self.victim_dir.observe(line, core_id)
+            if self.obs is not None:
+                self.obs.emit(
+                    EV_VICTIM_SET, data_time, f"L2[{part}]",
+                    line=line_addr, l1=f"L1[{core_id}]",
+                    group=self.victim_dir.group(core_id), hint=hint,
+                )
         return data_time, hint
 
     # ------------------------------------------------------------------
@@ -210,6 +236,11 @@ class MemorySystem:
             l1.stats.loads += 1
             l1.stats.mshr_merges += 1
             mshr.merge(entry)
+            if self.obs is not None:
+                self.obs.emit(
+                    EV_MSHR_MERGE, port, f"MSHR[{core_id}]",
+                    line=line_addr, ready=entry.ready_time,
+                )
             return entry.ready_time
 
         result = l1.lookup(line_addr, port)
@@ -223,7 +254,13 @@ class MemorySystem:
         t = port + 1
         if mshr.full:
             mshr.note_full_stall()
-            t = max(t, mshr.earliest_free())
+            stall_until = max(t, mshr.earliest_free())
+            if self.obs is not None:
+                self.obs.emit(
+                    EV_MSHR_STALL, t, f"MSHR[{core_id}]",
+                    line=line_addr, until=stall_until,
+                )
+            t = stall_until
             mshr.expire(t)
 
         arrive = self.noc.send_request(core_id, self.partition_of(line_addr), t)
@@ -236,6 +273,11 @@ class MemorySystem:
             FillContext(line_addr=line_addr, victim_hint=hint, src_id=core_id),
         )
         mshr.allocate(line_addr, resp, bypassed=fill.bypassed)
+        if self.obs is not None:
+            self.obs.emit(
+                EV_MSHR_ALLOC, t, f"MSHR[{core_id}]",
+                line=line_addr, ready=resp, bypassed=fill.bypassed,
+            )
         self.load_latency_sum += resp - now
         self.load_count += 1
         return resp

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.gpu.core import SIMTCore
+from repro.obs import Observability, wire
+from repro.obs.metrics import collect_run_metrics
 from repro.sim.config import GPUConfig
 from repro.sim.designs import DesignSpec, make_design
 from repro.sim.memory_system import MemorySystem
@@ -93,6 +95,11 @@ class GPU:
         timeline: Optional :class:`~repro.stats.timeline.Timeline`; when
             given, cumulative counters are sampled every
             ``timeline.interval`` cycles during the run.
+        obs: Optional :class:`~repro.obs.Observability`; when given, the
+            event bus is wired through every component (caches, policy,
+            NoC, DRAM, cores) and metrics are collected into its
+            registry.  ``None`` (the default) leaves tracing compiled
+            out to a per-site attribute check.
     """
 
     def __init__(
@@ -101,6 +108,7 @@ class GPU:
         design: DesignSpec,
         victim_share_factor: int = 1,
         timeline=None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config
         self.design = design
@@ -109,6 +117,9 @@ class GPU:
             SIMTCore(i, config, self.memory) for i in range(config.num_cores)
         ]
         self.timeline = timeline
+        self.obs = obs
+        if obs is not None:
+            wire(self, obs)
         self._pending: List = []
         self._scratchpad = 0
         self._rr_core = 0
@@ -179,7 +190,13 @@ class GPU:
         if not heap:
             raise RuntimeError("no CTA could be placed on any core")
 
-        next_sample = self.timeline.interval if self.timeline is not None else None
+        next_sample = None
+        if self.timeline is not None:
+            # Anchor the window grid at the launch time and record a
+            # baseline point so the first window has a left edge even
+            # when the interval exceeds the run length.
+            self._sample_timeline(start_time)
+            next_sample = start_time + self.timeline.interval
 
         while heap:
             now, core_id = heapq.heappop(heap)
@@ -207,6 +224,13 @@ class GPU:
             self.memory.finalize()
         cycles = max((c.finish_time for c in self.cores), default=0)
         instructions = sum(c.instructions for c in self.cores)
+        if self.timeline is not None:
+            # Flush the final partial window: runs rarely end exactly on
+            # a sampling boundary, and without this point the tail of the
+            # run (up to interval-1 cycles) vanished from the timeline.
+            self._sample_timeline(cycles)
+        if self.obs is not None:
+            self.obs.bus.flush()
         return self._build_result(trace.name, cycles, instructions)
 
     def _build_result(self, name: str, cycles: int, instructions: int) -> RunResult:
@@ -225,6 +249,13 @@ class GPU:
             extras["m_history"] = list(mgmt.m_history)
         if self.memory.victim_dir is not None:
             extras["contentions_detected"] = self.memory.victim_dir.contentions_detected
+        # Namespaced metrics snapshot (repro.obs.metrics).  Collected into
+        # a fresh registry every time because component counters are
+        # cumulative; an attached Observability is rebound to the latest.
+        registry = collect_run_metrics(self)
+        if self.obs is not None:
+            self.obs.metrics = registry
+        extras["metrics"] = registry.snapshot()
         return RunResult(
             benchmark=name,
             design=self.design.key,
@@ -289,6 +320,8 @@ def simulate(
     config: Optional[GPUConfig] = None,
     design: Optional[DesignSpec] = None,
     victim_share_factor: int = 1,
+    timeline=None,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
     """Run one kernel on one GPU design and return its statistics.
 
@@ -297,9 +330,13 @@ def simulate(
         config: Architectural parameters; defaults to the paper's Table 2.
         design: Cache-management design; defaults to the baseline (BS).
         victim_share_factor: ``S_v`` for victim-bit sharing ablations.
+        timeline: Optional :class:`~repro.stats.timeline.Timeline` to
+            sample during the run.
+        obs: Optional :class:`~repro.obs.Observability` for event tracing
+            and metrics collection.
     """
     if config is None:
         config = GPUConfig()
     if design is None:
         design = make_design("bs")
-    return GPU(config, design, victim_share_factor).run(trace)
+    return GPU(config, design, victim_share_factor, timeline=timeline, obs=obs).run(trace)

@@ -4,7 +4,7 @@ campaign progress."""
 from repro.stats.campaign import CampaignCounters, TaskTiming
 from repro.stats.counters import CacheStats, ReuseHistogram
 from repro.stats.energy import EnergyBreakdown, EnergyModel
-from repro.stats.report import Table, geomean
+from repro.stats.report import Table, geomean, render_metrics
 from repro.stats.timeline import Timeline, TimelinePoint
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "EnergyBreakdown",
     "Table",
     "geomean",
+    "render_metrics",
     "Timeline",
     "TimelinePoint",
 ]

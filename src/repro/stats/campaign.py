@@ -10,7 +10,7 @@ persistent cache, and how much simulated wall time the cache saved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.stats.report import Table
 
@@ -26,12 +26,16 @@ class TaskTiming:
         key: Content-addressed cache key (SHA-256 hex).
         cached: Whether the result came from the persistent cache.
         seconds: Worker-side wall time; ~0 for cache hits.
+        metrics: Namespaced metrics snapshot from the task's payload
+            (``RunResult.extras["metrics"]``); ``None`` when the payload
+            carries none (non-simulation tasks, pre-metrics cache entries).
     """
 
     label: str
     key: str
     cached: bool
     seconds: float
+    metrics: Optional[Dict[str, object]] = None
 
 
 @dataclass

@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["geomean", "Table", "format_speedup", "format_pct"]
+__all__ = ["geomean", "Table", "format_speedup", "format_pct", "render_metrics"]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -99,3 +99,28 @@ class Table:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
+
+
+def render_metrics(
+    snapshot: Mapping[str, object],
+    title: str = "metrics",
+    prefix: Optional[str] = None,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as an aligned table.
+
+    Histogram entries (dict values) are flattened to their summary
+    statistics; ``prefix`` restricts the table to one namespace.
+    """
+    table = Table(["metric", "value"], title=title)
+    for name in sorted(snapshot):
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        value = snapshot[name]
+        if isinstance(value, dict):
+            mean = value.get("mean", 0.0)
+            table.row([name, f"count={value.get('count', 0)} mean={mean:.2f}"])
+        elif isinstance(value, float):
+            table.row([name, f"{value:.4f}"])
+        else:
+            table.row([name, f"{value:,}"])
+    return table.render()

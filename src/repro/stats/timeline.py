@@ -74,6 +74,16 @@ class Timeline:
             )
         return out
 
+    def to_csv(self) -> str:
+        """Windowed rates as CSV (the ``repro run --timeline-csv`` export)."""
+        lines = ["start_cycle,end_cycle,ipc,miss_rate,bypass_rate"]
+        for w in self.windows():
+            lines.append(
+                f"{w.start_cycle},{w.end_cycle},"
+                f"{w.ipc:.6f},{w.miss_rate:.6f},{w.bypass_rate:.6f}"
+            )
+        return "\n".join(lines)
+
     def sparkline(self, metric: str = "miss_rate", width: int = 60) -> str:
         """ASCII sparkline of one metric (for terminal reports)."""
         windows = self.windows()

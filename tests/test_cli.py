@@ -58,3 +58,101 @@ class TestCompare:
             "--scale", "0.05",
         ])
         assert rc == 2
+
+
+class TestRunObservability:
+    def test_timeline_csv_written(self, capsys, tmp_path):
+        csv = tmp_path / "tl.csv"
+        rc = main([
+            "run", "--benchmark", "sd1", "--design", "bs",
+            "--scale", "0.05", "--timeline-csv", str(csv),
+        ])
+        assert rc == 0
+        lines = csv.read_text().splitlines()
+        assert lines[0] == "start_cycle,end_cycle,ipc,miss_rate,bypass_rate"
+        assert len(lines) >= 2
+
+    def test_trace_flag_writes_perfetto_json(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace_event_json
+
+        out = tmp_path / "run.json"
+        rc = main([
+            "run", "--benchmark", "sd1", "--design", "gc",
+            "--scale", "0.05", "--trace", str(out),
+        ])
+        assert rc == 0
+        assert validate_trace_event_json(json.loads(out.read_text())) == []
+
+    def test_trace_flag_jsonl_variant(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "run.jsonl"
+        rc = main([
+            "run", "--benchmark", "sd1", "--design", "bs",
+            "--scale", "0.05", "--trace", str(out),
+        ])
+        assert rc == 0
+        first = json.loads(out.read_text().splitlines()[0])
+        assert {"kind", "cycle", "src", "seq"} <= set(first)
+
+    def test_gcache_alias_accepted(self, capsys):
+        rc = main([
+            "run", "--benchmark", "sd1", "--design", "gcache", "--scale", "0.05",
+        ])
+        assert rc == 0
+
+
+class TestTrace:
+    def test_exports_victim_and_switch_events(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace_event_json
+
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--benchmark", "spmv", "--design", "gcache",
+            "--scale", "0.05", "-o", str(out),
+        ])
+        assert rc == 0
+        blob = json.loads(out.read_text())
+        assert validate_trace_event_json(blob) == []
+        names = {e["name"] for e in blob["traceEvents"]}
+        assert any(n.startswith("victim.") for n in names)
+        assert any(n.startswith("switch.") for n in names)
+        assert "events" in capsys.readouterr().out
+
+    def test_kinds_filter(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--benchmark", "spmv", "--design", "gc", "--scale", "0.05",
+            "-o", str(out), "--kinds", "victim.set,switch.on",
+        ])
+        assert rc == 0
+        blob = json.loads(out.read_text())
+        names = {e["name"] for e in blob["traceEvents"] if e["ph"] != "M"}
+        assert names <= {"victim.set", "switch.on"}
+
+    def test_rejects_unknown_kind(self, capsys, tmp_path):
+        rc = main([
+            "trace", "--benchmark", "sd1", "--design", "gc", "--scale", "0.05",
+            "-o", str(tmp_path / "t.json"), "--kinds", "nope.event",
+        ])
+        assert rc == 2
+
+
+class TestProfile:
+    def test_prints_convergence_report(self, capsys):
+        rc = main([
+            "profile", "--benchmark", "spmv", "--design", "gcache",
+            "--scale", "0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "G-Cache convergence" in out
+        assert "Per-set switch duty cycle" in out
+        assert "metrics snapshot" in out
+        assert "l1.loads" in out

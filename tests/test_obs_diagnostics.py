@@ -1,0 +1,149 @@
+"""Tests for the G-Cache convergence diagnostics analyzer."""
+
+import pytest
+
+from repro.obs import GCacheDiagnostics, Observability
+from repro.obs.events import (
+    EV_BYPASS_DECISION,
+    EV_M_ADAPT,
+    EV_SWITCH_OFF,
+    EV_SWITCH_ON,
+    EV_SWITCH_SHUTDOWN,
+    EV_VICTIM_SET,
+    Event,
+)
+from repro.sim.designs import make_design
+from repro.sim.simulator import GPU
+
+from conftest import ld, make_kernel
+
+_seq = 0
+
+
+def ev(kind, cycle, src="L1[0]", **args):
+    global _seq
+    event = Event(kind, cycle, src, _seq, args)
+    _seq += 1
+    return event
+
+
+class TestDutyCycles:
+    def test_on_off_interval_measured(self):
+        events = [
+            ev(EV_SWITCH_ON, 100, set=3),
+            ev(EV_SWITCH_OFF, 400, set=3),
+        ]
+        diag = GCacheDiagnostics(events, end_cycle=1000)
+        assert diag.duty_cycles() == {("L1[0]", 3): pytest.approx(0.3)}
+
+    def test_still_on_switch_credited_to_end(self):
+        diag = GCacheDiagnostics([ev(EV_SWITCH_ON, 600, set=0)], end_cycle=1000)
+        assert diag.duty_cycles()[("L1[0]", 0)] == pytest.approx(0.4)
+
+    def test_shutdown_closes_every_set_of_that_l1(self):
+        events = [
+            ev(EV_SWITCH_ON, 0, set=0),
+            ev(EV_SWITCH_ON, 0, set=1),
+            ev(EV_SWITCH_ON, 0, src="L1[1]", set=0),
+            ev(EV_SWITCH_SHUTDOWN, 500, interval=500),
+        ]
+        diag = GCacheDiagnostics(events, end_cycle=1000)
+        duty = diag.duty_cycles()
+        assert duty[("L1[0]", 0)] == pytest.approx(0.5)
+        assert duty[("L1[0]", 1)] == pytest.approx(0.5)
+        # The other L1 was not shut down: on until end of run.
+        assert duty[("L1[1]", 0)] == pytest.approx(1.0)
+        assert diag.shutdowns == 1
+
+    def test_repeated_on_does_not_restart_interval(self):
+        events = [
+            ev(EV_SWITCH_ON, 100, set=0),
+            ev(EV_SWITCH_ON, 300, set=0),
+            ev(EV_SWITCH_OFF, 500, set=0),
+        ]
+        diag = GCacheDiagnostics(events, end_cycle=1000)
+        assert diag.duty_cycles()[("L1[0]", 0)] == pytest.approx(0.4)
+
+    def test_set_duty_averages_across_l1s(self):
+        events = [
+            ev(EV_SWITCH_ON, 0, set=5),
+            ev(EV_SWITCH_OFF, 400, set=5),
+            ev(EV_SWITCH_ON, 0, src="L1[1]", set=5),
+            ev(EV_SWITCH_OFF, 800, src="L1[1]", set=5),
+        ]
+        diag = GCacheDiagnostics(events, end_cycle=1000)
+        assert diag.set_duty_cycles() == {5: pytest.approx(0.6)}
+
+    def test_zero_length_run(self):
+        diag = GCacheDiagnostics([ev(EV_SWITCH_ON, 0, set=0)], end_cycle=0)
+        assert diag.duty_cycles()[("L1[0]", 0)] == 0.0
+
+
+class TestDetectionAndReasons:
+    def test_time_to_first_detection_ignores_hintless_observations(self):
+        events = [
+            ev(EV_VICTIM_SET, 100, src="L2[0]", l1="L1[2]", hint=False),
+            ev(EV_VICTIM_SET, 250, src="L2[0]", l1="L1[2]", hint=True),
+            ev(EV_VICTIM_SET, 400, src="L2[1]", l1="L1[0]", hint=True),
+        ]
+        diag = GCacheDiagnostics(events)
+        assert diag.time_to_first_detection == 250
+        assert diag.first_detection == {"L1[2]": 250, "L1[0]": 400}
+
+    def test_no_detection(self):
+        diag = GCacheDiagnostics([])
+        assert diag.time_to_first_detection is None
+
+    def test_bypass_reason_breakdown(self):
+        events = [
+            ev(EV_BYPASS_DECISION, 10, set=0, reason="all_hot"),
+            ev(EV_BYPASS_DECISION, 20, set=1, reason="all_hot_victim_th"),
+            ev(EV_BYPASS_DECISION, 30, set=0, reason="all_hot"),
+        ]
+        diag = GCacheDiagnostics(events)
+        assert diag.bypass_reasons == {"all_hot": 2, "all_hot_victim_th": 1}
+        assert diag.total_bypasses == 3
+
+    def test_m_trajectory_in_cycle_order(self):
+        events = [
+            ev(EV_M_ADAPT, 500, m=2),
+            ev(EV_M_ADAPT, 200, m=1),  # emitted out of cycle order
+        ]
+        diag = GCacheDiagnostics(events)
+        assert diag.m_trajectory == [(200, 1), (500, 2)]
+
+
+class TestRender:
+    def test_report_sections(self):
+        events = [
+            ev(EV_SWITCH_ON, 0, set=1),
+            ev(EV_SWITCH_OFF, 500, set=1),
+            ev(EV_VICTIM_SET, 100, src="L2[0]", l1="L1[0]", hint=True),
+            ev(EV_BYPASS_DECISION, 150, set=1, reason="all_hot"),
+            ev(EV_M_ADAPT, 300, m=2),
+        ]
+        text = GCacheDiagnostics(events, end_cycle=1000).render(top_sets=5)
+        assert "G-Cache convergence" in text
+        assert "time to first detection" in text
+        assert "Bypass reasons" in text
+        assert "Per-set switch duty cycle" in text
+        assert "adaptive-M trajectory" in text
+
+    def test_empty_stream_renders(self):
+        text = GCacheDiagnostics([]).render()
+        assert "never" in text
+
+
+class TestIntegration:
+    def test_traced_gcache_run_reconstructs_convergence(self, tiny_config):
+        kernel = make_kernel(
+            [[ld(i) for i in range(24)], [ld(i + 8) for i in range(24)]], ctas=4
+        )
+        obs = Observability.in_memory()
+        result = GPU(tiny_config, make_design("gc"), obs=obs).run(kernel)
+        diag = obs.diagnostics(end_cycle=result.cycles)
+        assert diag.num_events == obs.bus.events_emitted
+        for duty in diag.duty_cycles().values():
+            assert 0.0 <= duty <= 1.0
+        # Traced bypass decisions must agree with the cache counters.
+        assert diag.total_bypasses == result.l1.bypasses

@@ -1,0 +1,142 @@
+"""Tests for the hierarchical metrics registry and run collection."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CounterMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    collect_run_metrics,
+)
+from repro.sim.designs import make_design
+from repro.sim.simulator import GPU, simulate
+from repro.stats.report import render_metrics
+
+from conftest import ld, make_kernel
+
+
+class TestMetricTypes:
+    def test_counter_only_goes_up(self):
+        c = CounterMetric("x")
+        c.inc(3)
+        c.inc()
+        assert c.snapshot() == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_histogram_summary(self):
+        h = HistogramMetric("lat")
+        for v in (10, 30, 20):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 60
+        assert snap["min"] == 10
+        assert snap["max"] == 30
+        assert snap["mean"] == pytest.approx(20.0)
+
+    def test_empty_histogram_snapshot(self):
+        assert HistogramMetric("lat").snapshot() == {
+            "count": 0, "sum": 0, "min": 0, "max": 0, "mean": 0.0,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("l1.loads").inc(2)
+        reg.counter("l1.loads").inc(3)
+        assert reg.snapshot() == {"l1.loads": 5}
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_scope_shares_parent_storage(self):
+        reg = MetricsRegistry()
+        noc = reg.scope("noc")
+        noc.counter("packets").inc(7)
+        nested = noc.scope("link")
+        nested.gauge("util").set(0.5)
+        assert "noc.packets" in reg
+        assert reg.snapshot() == {"noc.packets": 7, "noc.link.util": 0.5}
+        assert reg.names() == ["noc.link.util", "noc.packets"]
+
+    def test_merge_accumulates_by_kind(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(2)
+        a.histogram("lat").observe(5)
+        b.counter("hits").inc(3)
+        b.gauge("m").set(4)
+        b.histogram("lat").observe(15)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["hits"] == 5
+        assert snap["m"] == 4
+        assert snap["lat"]["count"] == 2
+        assert snap["lat"]["min"] == 5
+        assert snap["lat"]["max"] == 15
+
+    def test_merge_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+
+class TestCollectRunMetrics:
+    def _run(self, tiny_config, key):
+        kernel = make_kernel([[ld(i) for i in range(16)]] * 2, ctas=4)
+        gpu = GPU(tiny_config, make_design(key))
+        result = gpu.run(kernel)
+        return gpu, result
+
+    def test_baseline_namespaces_present(self, tiny_config):
+        gpu, result = self._run(tiny_config, "bs")
+        snap = collect_run_metrics(gpu).snapshot()
+        assert snap["l1.loads"] == result.l1.loads
+        assert snap["core.instructions"] == result.instructions
+        assert snap["dram.row_hit_rate"] == pytest.approx(result.dram_row_hit_rate)
+        assert snap["noc.packets"] > 0
+        assert snap["core.load_latency"]["count"] > 0
+        # Baseline has no victim directory and no G-Cache switches.
+        assert not any(name.startswith("victim.") for name in snap)
+        assert not any(name.startswith("gcache.") for name in snap)
+
+    def test_gcache_namespaces_present(self, tiny_config):
+        gpu, _ = self._run(tiny_config, "gc")
+        snap = collect_run_metrics(gpu).snapshot()
+        assert "victim.hints_returned" in snap
+        assert "gcache.total_fills" in snap
+        assert "gcache.switch.activations" in snap
+        assert 0.0 <= snap["gcache.switch.fraction_on"] <= 1.0
+
+    def test_result_extras_carry_snapshot(self, tiny_config):
+        kernel = make_kernel([[ld(i) for i in range(16)]] * 2, ctas=4)
+        result = simulate(kernel, tiny_config, make_design("gc"))
+        metrics = result.extras["metrics"]
+        assert metrics["l1.loads"] == result.l1.loads
+        assert metrics["core.cycles"] == result.cycles
+
+
+class TestRenderMetrics:
+    def test_renders_counters_gauges_histograms(self):
+        text = render_metrics(
+            {"l1.loads": 1200, "l1.miss_rate": 0.25,
+             "core.load_latency": {"count": 3, "mean": 20.0}},
+        )
+        assert "1,200" in text
+        assert "0.2500" in text
+        assert "count=3 mean=20.00" in text
+
+    def test_prefix_filters_namespace(self):
+        text = render_metrics({"l1.loads": 1, "noc.packets": 2}, prefix="l1.")
+        assert "l1.loads" in text
+        assert "noc.packets" not in text

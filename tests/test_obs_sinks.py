@@ -1,0 +1,150 @@
+"""Tests for event sinks: ring bounding, JSONL flushing, Perfetto JSON."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.events import EV_CTA_DONE, EV_CTA_LAUNCH, EV_HIT, Event
+from repro.obs.sinks import (
+    JSONLSink,
+    PerfettoSink,
+    RingBufferSink,
+    validate_trace_event_json,
+)
+from repro.sim.designs import make_design
+from repro.sim.simulator import GPU
+
+from conftest import ld, make_kernel
+
+
+def ev(kind, cycle, src="L1[0]", seq=0, **args):
+    return Event(kind, cycle, src, seq, args)
+
+
+class TestRingBufferSink:
+    def test_bounds_memory_and_counts_drops(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(5):
+            ring.write(ev(EV_HIT, i, seq=i))
+        assert len(ring) == 3
+        assert ring.total_written == 5
+        assert ring.dropped == 2
+        # Oldest events fall off first.
+        assert [e.cycle for e in ring.events()] == [2, 3, 4]
+
+    def test_counts_by_kind(self):
+        ring = RingBufferSink()
+        ring.write(ev(EV_HIT, 0))
+        ring.write(ev(EV_HIT, 1))
+        ring.write(ev(EV_CTA_LAUNCH, 2))
+        assert ring.counts_by_kind() == {EV_HIT: 2, EV_CTA_LAUNCH: 1}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJSONLSink:
+    def test_buffered_writes_flush_at_threshold(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path, buffer_size=2)
+        sink.write(ev(EV_HIT, 0, seq=0))
+        assert path.read_text() == ""  # still buffered
+        sink.write(ev(EV_HIT, 1, seq=1))
+        assert sink.flushes == 1
+        assert len(path.read_text().splitlines()) == 2
+        sink.close()
+
+    def test_close_flushes_partial_buffer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path, buffer_size=1000)
+        sink.write(ev(EV_HIT, 7, seq=3, line=9))
+        sink.close()
+        (line,) = path.read_text().splitlines()
+        record = json.loads(line)
+        assert record == {
+            "kind": EV_HIT, "cycle": 7, "src": "L1[0]", "seq": 3, "line": 9,
+        }
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_buffer_size_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            JSONLSink(tmp_path / "t.jsonl", buffer_size=0)
+
+
+class TestPerfettoSink:
+    def test_instant_events_carry_track_and_args(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = PerfettoSink(path)
+        sink.write(ev(EV_HIT, 42, src="L1[3]", line=5))
+        sink.close()
+        blob = json.loads(path.read_text())
+        assert validate_trace_event_json(blob) == []
+        instants = [e for e in blob["traceEvents"] if e["ph"] == "i"]
+        (hit,) = instants
+        assert hit["name"] == EV_HIT
+        assert hit["ts"] == 42
+        assert hit["tid"] == 3
+        assert hit["args"]["line"] == 5
+        # Metadata names the component family.
+        metas = [e for e in blob["traceEvents"] if e["ph"] == "M"]
+        assert any(m["args"]["name"] == "L1" for m in metas)
+
+    def test_cta_lifecycle_becomes_async_slices(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = PerfettoSink(path)
+        sink.write(ev(EV_CTA_LAUNCH, 10, src="core[0]", slot=2, warps=4))
+        sink.write(ev(EV_CTA_DONE, 50, src="core[0]", seq=1, slot=2))
+        sink.close()
+        blob = json.loads(path.read_text())
+        assert validate_trace_event_json(blob) == []
+        slices = [e for e in blob["traceEvents"] if e["ph"] in ("b", "e")]
+        assert [s["ph"] for s in slices] == ["b", "e"]
+        assert slices[0]["id"] == slices[1]["id"] == "core[0]:2"
+
+    def test_max_events_bounds_file(self, tmp_path):
+        sink = PerfettoSink(tmp_path / "t.json", max_events=2)
+        for i in range(5):
+            sink.write(ev(EV_HIT, i, seq=i))
+        sink.close()
+        assert sink.events_written == 2
+        assert sink.events_dropped == 3
+        blob = json.loads((tmp_path / "t.json").read_text())
+        assert blob["otherData"]["dropped"] == 3
+
+    def test_traced_run_produces_valid_perfetto_json(self, tiny_config, tmp_path):
+        """End-to-end: a traced G-Cache run exports a loadable trace."""
+        path = tmp_path / "run.json"
+        kernel = make_kernel([[ld(i) for i in range(16)]] * 2, ctas=4)
+        obs = Observability.to_perfetto(path)
+        GPU(tiny_config, make_design("gc"), obs=obs).run(kernel)
+        obs.close()
+        blob = json.loads(path.read_text())
+        assert validate_trace_event_json(blob) == []
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_trace_event_json({}) == ["traceEvents missing or not a list"]
+
+    def test_flags_malformed_entries(self):
+        blob = {"traceEvents": [
+            {"ph": "i", "pid": 1, "tid": 0, "ts": 1},        # no name
+            {"name": "x", "ph": "i", "pid": 1, "tid": 0},     # no ts
+            {"name": "y", "ph": "b", "pid": 1, "tid": 0, "ts": 2},  # no id
+        ]}
+        problems = validate_trace_event_json(blob)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("non-numeric ts" in p for p in problems)
+        assert any("async event without id" in p for p in problems)
+
+    def test_metadata_needs_no_timestamp(self):
+        blob = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {}},
+        ]}
+        assert validate_trace_event_json(blob) == []

@@ -265,3 +265,35 @@ class TestEngineDedup:
         assert a is b
         assert engine.counters.executed == 1
         assert engine.counters.tasks == 2
+
+
+class TestManifestMetrics:
+    def test_simulate_tasks_embed_metrics(self, tiny_config, tmp_path):
+        engine = CampaignEngine(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        task = Task(kind="simulate", benchmark="SD1", design="bs", scale=0.05,
+                    config=tiny_config)
+        engine.run([task])
+        manifest = engine.manifest()
+        (entry,) = manifest["tasks"]
+        assert entry["cached"] is False
+        assert entry["metrics"]["l1.loads"] > 0
+        assert "core.instructions" in entry["metrics"]
+
+    def test_cache_hit_recovers_metrics_from_payload(self, tiny_config, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = Task(kind="simulate", benchmark="SD1", design="bs", scale=0.05,
+                    config=tiny_config)
+        CampaignEngine(jobs=1, cache=cache).run([task])
+        engine = CampaignEngine(jobs=1, cache=cache)
+        engine.run([task])
+        (entry,) = engine.manifest()["tasks"]
+        assert entry["cached"] is True
+        assert entry["metrics"]["l1.loads"] > 0
+
+    def test_metricless_payload_yields_none(self):
+        engine = CampaignEngine(jobs=1)
+        task = Task(kind="pd-sweep", benchmark="SD1", scale=0.05,
+                    pd_candidates=(1, 2))
+        engine.run([task])
+        (entry,) = engine.manifest()["tasks"]
+        assert entry["metrics"] is None

@@ -67,6 +67,18 @@ class TestSparkline:
         assert len(tl.sparkline("ipc", width=50)) <= 50
 
 
+class TestCSV:
+    def test_header_only_when_empty(self):
+        assert Timeline().to_csv() == "start_cycle,end_cycle,ipc,miss_rate,bypass_rate"
+
+    def test_rows_match_windows(self):
+        tl = Timeline(interval=100)
+        tl.record(pt(100, 50, 20, 10))
+        tl.record(pt(200, 150, 40, 25))
+        header, row = tl.to_csv().splitlines()
+        assert row.startswith("100,200,1.000000,")
+
+
 class TestSimulatorIntegration:
     def test_samples_collected_during_run(self, tiny_config):
         kernel = make_kernel(
@@ -79,3 +91,28 @@ class TestSimulatorIntegration:
         last = tl.points[-1]
         assert last.instructions <= result.instructions
         assert last.cycle <= result.cycles + tl.interval
+
+    def test_final_partial_window_flushed(self, tiny_config):
+        """The tail of the run must appear even off the sampling grid."""
+        kernel = make_kernel(
+            [[op for i in range(8) for op in (ld(i * 8), alu(2))]] * 2, ctas=6
+        )
+        tl = Timeline(interval=200)
+        result = GPU(tiny_config, make_design("bs"), timeline=tl).run(kernel)
+        last = tl.points[-1]
+        assert last.cycle == result.cycles
+        assert last.instructions == result.instructions
+        # Summing window activity over the whole timeline reproduces the
+        # end-of-run totals — nothing fell off the end.
+        windows = tl.windows()
+        total_instr = sum(w.ipc * (w.end_cycle - w.start_cycle) for w in windows)
+        assert total_instr == pytest.approx(result.instructions)
+
+    def test_interval_larger_than_run_yields_one_window(self, tiny_config):
+        kernel = make_kernel([[ld(0), alu(1)]], ctas=1)
+        tl = Timeline(interval=10_000_000)
+        result = GPU(tiny_config, make_design("bs"), timeline=tl).run(kernel)
+        (w,) = tl.windows()
+        assert w.start_cycle == 0
+        assert w.end_cycle == result.cycles
+        assert w.ipc == pytest.approx(result.ipc)
