@@ -26,43 +26,22 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import subprocess
 import sys
 
-_WORKLOAD = r"""
-import json, time
-from repro.sim.config import GPUConfig
-from repro.sim.designs import make_design
-from repro.sim.simulator import simulate
-from repro.trace.suite import build_benchmark
-
-benchmark, scale, repeats = {benchmark!r}, {scale!r}, {repeats!r}
-config = GPUConfig()
-trace = build_benchmark(benchmark, scale=scale)
-design = make_design("gc")
-
-simulate(trace, config, design)  # warmup: imports, allocator, caches
-best = min(
-    (lambda t0: (simulate(trace, config, design), time.perf_counter() - t0)[1])(
-        time.perf_counter()
-    )
-    for _ in range(repeats)
-)
-print(json.dumps({{"best_seconds": best}}))
-"""
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from perf_suite import time_workload  # noqa: E402  (shared timing harness)
 
 
 def time_tree(src: str, benchmark: str, scale: float, repeats: int) -> float:
-    """Best-of-N wall time of the micro-workload against one source tree."""
-    env = dict(os.environ, PYTHONPATH=src)
-    code = _WORKLOAD.format(benchmark=benchmark, scale=scale, repeats=repeats)
-    out = subprocess.run(
-        [sys.executable, "-c", code], env=env, check=True,
-        capture_output=True, text=True,
-    ).stdout
-    return float(json.loads(out.splitlines()[-1])["best_seconds"])
+    """Best-of-N wall time of the micro-workload against one source tree.
+
+    Thin wrapper over :func:`perf_suite.time_workload` (the perf-gate
+    suite's subprocess harness) pinned to the G-Cache design, which has
+    the densest set of would-be emission sites.
+    """
+    rec = time_workload(src, benchmark, design="gc", scale=scale, repeats=repeats)
+    return float(rec["best_seconds"])
 
 
 def main() -> int:

@@ -11,11 +11,19 @@ to :meth:`MSHRFile.earliest_free`.
 Entries are expired lazily: the memory system calls :meth:`expire` with
 the current time before consulting the file, which is correct because
 transactions are processed in global time order.
+
+The file keeps a min-heap of ``(ready_time, line_addr)`` alongside the
+address-keyed dict, so :meth:`expire` is O(1) when nothing has retired
+(the overwhelmingly common case — it runs on *every* load) and
+:meth:`earliest_free` needs no scan.  An entry's ready time is fixed at
+allocation and entries are only removed via :meth:`expire`/:meth:`reset`,
+so heap and dict stay exactly in sync — no lazy-deletion bookkeeping.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["MSHREntry", "MSHRFile"]
 
@@ -49,6 +57,7 @@ class MSHRFile:
         self.capacity = entries
         self.max_merges = max_merges
         self._pending: Dict[int, MSHREntry] = {}
+        self._ready_heap: List[Tuple[int, int]] = []
         self.peak_occupancy = 0
         self.total_allocations = 0
         self.total_merges = 0
@@ -63,11 +72,13 @@ class MSHRFile:
 
     def expire(self, now: int) -> None:
         """Retire entries whose fill response has arrived by ``now``."""
-        if not self._pending:
+        heap = self._ready_heap
+        if not heap or heap[0][0] > now:
             return
-        done = [addr for addr, e in self._pending.items() if e.ready_time <= now]
-        for addr in done:
-            del self._pending[addr]
+        pending = self._pending
+        while heap and heap[0][0] <= now:
+            _, addr = heapq.heappop(heap)
+            del pending[addr]
 
     def lookup(self, line_addr: int) -> Optional[MSHREntry]:
         """Return the in-flight entry for ``line_addr``, if any."""
@@ -99,6 +110,7 @@ class MSHRFile:
             raise RuntimeError(f"duplicate MSHR allocation for line {line_addr:#x}")
         entry = MSHREntry(line_addr, ready_time, bypassed)
         self._pending[line_addr] = entry
+        heapq.heappush(self._ready_heap, (ready_time, line_addr))
         self.total_allocations += 1
         if len(self._pending) > self.peak_occupancy:
             self.peak_occupancy = len(self._pending)
@@ -109,15 +121,15 @@ class MSHRFile:
 
         Only meaningful when the file is non-empty.
         """
-        if not self._pending:
-            return 0
-        return min(e.ready_time for e in self._pending.values())
+        heap = self._ready_heap
+        return heap[0][0] if heap else 0
 
     def note_full_stall(self) -> None:
         self.full_stalls += 1
 
     def reset(self) -> None:
         self._pending.clear()
+        self._ready_heap.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<MSHRFile {len(self._pending)}/{self.capacity}>"

@@ -27,7 +27,7 @@ class FillDecision(Enum):
     BYPASS = "bypass"
 
 
-@dataclass
+@dataclass(slots=True)
 class FillContext:
     """Metadata accompanying a fill request into a cache.
 

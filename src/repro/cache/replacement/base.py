@@ -12,9 +12,12 @@ policies with set-global behaviour (e.g. RRIP aging) can be expressed.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
 from repro.cache.line import CacheLine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.tagstore import FlatTagStore
 
 __all__ = ["ReplacementPolicy"]
 
@@ -45,6 +48,35 @@ class ReplacementPolicy(ABC):
         Called only when every way is valid; an invalid way is always
         filled first by the cache itself.
         """
+
+    # ------------------------------------------------------------------
+    # Flat (array-backed) fast path
+    # ------------------------------------------------------------------
+    # A policy may additionally operate directly on the cache's packed
+    # tag-store arrays (see repro.cache.tagstore).  The cache offers the
+    # store once at construction via ``flat_bind``; a policy that returns
+    # True promises that, for any access sequence, the ``flat_*`` hooks
+    # leave the store in *exactly* the state the object hooks would have
+    # left the equivalent CacheLine list in (bit-identical replacement
+    # decisions included) — the property suite in
+    # tests/test_cache_equivalence.py enforces this promise.
+    #
+    # Flat hooks receive flat slot indices: ``idx = base + way`` where
+    # ``base = set_index * ways``.  ``flat_select_victim`` returns the
+    # *way* (not the flat index), mirroring ``select_victim``.
+
+    def flat_bind(self, store: "FlatTagStore") -> bool:
+        """Adopt ``store`` for array-based updates; False = unsupported."""
+        return False
+
+    def flat_on_fill(self, index: int, now: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flat_on_hit(self, index: int, now: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flat_select_victim(self, base: int, top: int, now: int) -> int:  # pragma: no cover
+        raise NotImplementedError
 
     def invalid_way(self, ways: Sequence[CacheLine]) -> int:
         """Return the index of an invalid way, or ``-1`` if the set is full."""

@@ -26,6 +26,7 @@ class LRUPolicy(ReplacementPolicy):
 
     def __init__(self) -> None:
         self._tick = 0
+        self._stamps = None
 
     def _next_tick(self) -> int:
         self._tick += 1
@@ -46,6 +47,30 @@ class LRUPolicy(ReplacementPolicy):
                 victim = i
         return victim
 
+    # -- flat fast path -------------------------------------------------
+    def flat_bind(self, store) -> bool:
+        if self._stamps is not None and self._stamps is not store.stamp:
+            # Already serving another cache's arrays; that cache keeps the
+            # flat path, later caches sharing this instance fall back to
+            # the object path (both write the same per-line state).
+            return False
+        self._stamps = store.stamp
+        return True
+
+    def flat_on_fill(self, index: int, now: int) -> None:
+        self._tick += 1
+        self._stamps[index] = self._tick
+
+    def flat_on_hit(self, index: int, now: int) -> None:
+        self._tick += 1
+        self._stamps[index] = self._tick
+
+    def flat_select_victim(self, base: int, top: int, now: int) -> int:
+        # Stamps are unique, so index-of-min is exact; min()+.index() are
+        # both C-speed, and first-minimum matches the object-path loop.
+        seg = self._stamps[base:top]
+        return seg.index(min(seg))
+
 
 class MRUPolicy(LRUPolicy):
     """Most-recently-used replacement (anti-LRU; useful for thrashing tests)."""
@@ -61,6 +86,10 @@ class MRUPolicy(LRUPolicy):
                 victim = i
         return victim
 
+    def flat_select_victim(self, base: int, top: int, now: int) -> int:
+        seg = self._stamps[base:top]
+        return seg.index(max(seg))
+
 
 class FIFOPolicy(LRUPolicy):
     """First-in-first-out replacement: stamp is set on fill only."""
@@ -69,4 +98,7 @@ class FIFOPolicy(LRUPolicy):
 
     def on_hit(self, ways: Sequence[CacheLine], way: int, now: int) -> None:
         # FIFO ignores hits: eviction order is fill order.
+        pass
+
+    def flat_on_hit(self, index: int, now: int) -> None:
         pass

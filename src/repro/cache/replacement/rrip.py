@@ -48,6 +48,7 @@ class SRRIPPolicy(ReplacementPolicy):
                 f"insertion RRPV {insertion_rrpv} out of range [0, {self.max_rrpv}]"
             )
         self.insertion_rrpv = insertion_rrpv
+        self._rrpvs = None
 
     def fill_rrpv(self) -> int:
         """RRPV to assign to a newly inserted line (hook for BRRIP)."""
@@ -71,6 +72,41 @@ class SRRIPPolicy(ReplacementPolicy):
                     return i
             for line in ways:
                 line.rrpv += 1
+
+    # -- flat fast path -------------------------------------------------
+    def flat_bind(self, store) -> bool:
+        if self._rrpvs is not None and self._rrpvs is not store.rrpv:
+            # One policy instance per cache is the contract; a shared
+            # instance keeps the flat path only for its first cache.
+            return False
+        self._rrpvs = store.rrpv
+        return True
+
+    def flat_on_fill(self, index: int, now: int) -> None:
+        self._rrpvs[index] = self.fill_rrpv()
+
+    def flat_on_hit(self, index: int, now: int) -> None:
+        self._rrpvs[index] = 0
+
+    def flat_select_victim(self, base: int, top: int, now: int) -> int:
+        # The aging loop increments every line once per round until some
+        # RRPV reaches max; that is equivalent to one bulk add of
+        # ``max_rrpv - max(seg)`` (no clamping happens in the loop), and
+        # the victim is the first line holding the pre-aging maximum.
+        rrpvs = self._rrpvs
+        seg = rrpvs[base:top]
+        top_val = max(seg)
+        if top_val < self.max_rrpv:
+            delta = self.max_rrpv - top_val
+            for i in range(base, top):
+                rrpvs[i] += delta
+        elif top_val > self.max_rrpv:
+            # Out-of-range RRPV planted by external code: fall back to the
+            # object path's first->=max rule rather than first-of-max.
+            for i, value in enumerate(seg):
+                if value >= self.max_rrpv:
+                    return i
+        return seg.index(top_val)
 
 
 class BRRIPPolicy(SRRIPPolicy):

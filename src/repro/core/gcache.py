@@ -118,6 +118,7 @@ class GCachePolicy(ManagementPolicy):
         self.config = config if config is not None else GCacheConfig()
         self._cache: Optional["Cache"] = None
         self._rrip: Optional[SRRIPPolicy] = None
+        self._store = None
         #: Thresholds resolved against the RRIP width at attach time.
         self.th_hot = 0
         self.th_hot_victim = 0
@@ -160,33 +161,57 @@ class GCachePolicy(ManagementPolicy):
         self.th_hot_victim = th_victim
         self._cache = cache
         self._rrip = cache.replacement
+        # Array-backed caches expose their flat tag store; the per-set
+        # scans below then read the parallel arrays directly instead of
+        # going through one property call per line field.
+        self._store = getattr(cache, "store", None)
         self.switches = BypassSwitchArray(
             cache.num_sets, shutdown_interval=self.config.shutdown_interval
         )
         self._bypass_counters = [0] * cache.num_sets
+        self._adaptive_aging = self.config.adaptive_aging
+        self._aging_epoch = self.config.aging_epoch
+        cache.register_access_tick(
+            self.config.shutdown_interval, self._tick_shutdown
+        )
 
     # ------------------------------------------------------------------
     # Access hooks
     # ------------------------------------------------------------------
-    def _tick(self, cache: "Cache", now: int) -> None:
-        assert self.switches is not None
-        if self.switches.tick() and self.obs is not None:
+    def _tick_shutdown(self, cache: "Cache", now: int) -> None:
+        """Periodic switch shutdown; driven by the cache's access tick.
+
+        The per-access counting itself lives in
+        :meth:`repro.cache.cache.Cache.register_access_tick` (one integer
+        countdown inside ``lookup_fast``), so this policy defines no
+        ``on_hit``/``on_miss`` hooks and the hot lookup path pays no
+        Python call for it.
+        """
+        sw = self.switches
+        sw.reset_all()
+        sw.shutdowns += 1
+        if self.obs is not None:
             self.obs.emit(
                 EV_SWITCH_SHUTDOWN, now, cache.name,
-                interval=self.config.shutdown_interval,
+                interval=sw.shutdown_interval,
             )
-
-    def on_hit(self, cache: "Cache", set_index: int, way: int, now: int) -> None:
-        self._tick(cache, now)
-
-    def on_miss(self, cache: "Cache", set_index: int, now: int) -> None:
-        self._tick(cache, now)
 
     # ------------------------------------------------------------------
     # Fill path
     # ------------------------------------------------------------------
     def _all_hot(self, cache: "Cache", set_index: int, threshold: int) -> bool:
         """True when the set is full and every line's RRPV < threshold."""
+        store = self._store
+        if store is not None:
+            ways = store.ways
+            base = set_index * ways
+            if store.valid_count[set_index] < ways:
+                return False
+            rrpv = store.rrpv
+            for i in range(base, base + ways):
+                if rrpv[i] >= threshold:
+                    return False
+            return True
         for line in cache.sets[set_index]:
             if not line.valid:
                 return False
@@ -197,18 +222,23 @@ class GCachePolicy(ManagementPolicy):
     def fill_decision(
         self, cache: "Cache", set_index: int, ctx: FillContext, now: int
     ) -> FillDecision:
-        assert self.switches is not None
         self.total_fills += 1
         self._epoch_fills += 1
+        sw = self.switches
+        states = sw._switches
         if ctx.victim_hint:
             self.hint_fills += 1
             self._epoch_hints += 1
-            if self.obs is not None and not self.switches.is_on(set_index):
-                self.obs.emit(EV_SWITCH_ON, now, cache.name, set=set_index)
-            self.switches.turn_on(set_index)
-        self._maybe_adapt_m(cache, now)
+            if not states[set_index]:
+                if self.obs is not None:
+                    self.obs.emit(EV_SWITCH_ON, now, cache.name, set=set_index)
+                states[set_index] = True
+                sw.activations += 1
+        # Early-out inline: _maybe_adapt_m only does work once per epoch.
+        if self._adaptive_aging and self._epoch_fills >= self._aging_epoch:
+            self._maybe_adapt_m(cache, now)
 
-        if not self.switches.is_on(set_index):
+        if not states[set_index]:
             return FillDecision.INSERT
 
         threshold = self.th_hot_victim if ctx.victim_hint else self.th_hot
@@ -233,31 +263,45 @@ class GCachePolicy(ManagementPolicy):
         bypass to the set, preserving protection across very large reuse
         distances.
         """
-        assert self._rrip is not None
         self._epoch_bypasses += 1
         self._bypass_counters[set_index] += 1
         if self._bypass_counters[set_index] < self.m:
             return
         self._bypass_counters[set_index] = 0
         max_rrpv = self._rrip.max_rrpv
-        for line in cache.sets[set_index]:
-            if line.valid and line.rrpv < max_rrpv:
-                line.rrpv += 1
+        store = self._store
+        if store is not None:
+            ways = store.ways
+            base = set_index * ways
+            valid = store.valid
+            rrpv = store.rrpv
+            for i in range(base, base + ways):
+                if valid[i] and rrpv[i] < max_rrpv:
+                    rrpv[i] += 1
+        else:
+            for line in cache.sets[set_index]:
+                if line.valid and line.rrpv < max_rrpv:
+                    line.rrpv += 1
         self.agings += 1
 
     def on_insert(
         self, cache: "Cache", set_index: int, way: int, ctx: FillContext, now: int
     ) -> None:
-        assert self._rrip is not None
-        line = cache.sets[set_index][way]
         if ctx.victim_hint:
             # The block demonstrated reuse (and lost it to contention):
             # insert near-MRU so it is protected.
-            line.rrpv = self.config.hot_insert_rrpv
+            rrpv = self.config.hot_insert_rrpv
         elif self.config.cold_insert_rrpv is not None:
-            line.rrpv = self.config.cold_insert_rrpv
-        # Otherwise keep the replacement policy's default insertion
-        # (SRRIP long re-reference: max-1).
+            rrpv = self.config.cold_insert_rrpv
+        else:
+            # Keep the replacement policy's default insertion (SRRIP long
+            # re-reference: max-1).
+            return
+        store = self._store
+        if store is not None:
+            store.rrpv[set_index * store.ways + way] = rrpv
+        else:
+            cache.sets[set_index][way].rrpv = rrpv
 
     # ------------------------------------------------------------------
     # M-th bypass adaptation (Section 5.1 extension)

@@ -42,6 +42,9 @@ class VictimBitDirectory:
         self.num_l1s = num_l1s
         self.share_factor = share_factor
         self.bits_per_line = num_l1s // share_factor
+        # observe() runs once per L2 read: the group->mask mapping is
+        # precomputed per source id (indexing also bounds-checks src_id).
+        self._masks = [1 << (i // share_factor) for i in range(num_l1s)]
         self.hints_returned = 0
         self.contentions_detected = 0
 
@@ -59,9 +62,19 @@ class VictimBitDirectory:
         already fetched the line during the current L2 generation:
         contention detected.
         """
-        mask = 1 << self.group(src_id)
-        hint = bool(line.victim_bits & mask)
-        line.victim_bits |= mask
+        mask = self._masks[src_id]
+        store = getattr(line, "_store", None)
+        if store is not None:
+            # Array-backed line view: read-modify-write the packed field
+            # directly instead of two property round-trips.
+            vb = store.victim_bits
+            idx = line._index
+            prev = vb[idx]
+            vb[idx] = prev | mask
+        else:
+            prev = line.victim_bits
+            line.victim_bits = prev | mask
+        hint = (prev & mask) != 0
         self.hints_returned += 1
         if hint:
             self.contentions_detected += 1

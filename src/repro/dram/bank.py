@@ -70,26 +70,34 @@ class DRAMBank:
             (the controller adds data-bus serialization).
         """
         t = self.timing
-        start = max(arrival, self.ready_time)
-        if row in self._open_rows:
+        ready = self.ready_time
+        start = arrival if arrival >= ready else ready
+        rows = self._open_rows
+        if row in rows:
             self.row_hits += 1
             data_at = start + t.row_hit_latency
             self.ready_time = start + t.burst_cycles
+            rows.move_to_end(row)
         else:
             self.row_misses += 1
             # Close a row (tRP) and activate the new one, honouring the
             # same-bank row-cycle time tRC and the cross-bank tRRD gate.
-            activate_at = max(
-                start + t.tRP,
-                self.last_activate + t.tRC,
-                rrd_gate,
-            )
+            activate_at = start + t.tRP
+            gate = self.last_activate + t.tRC
+            if gate > activate_at:
+                activate_at = gate
+            if rrd_gate > activate_at:
+                activate_at = rrd_gate
             self.last_activate = activate_at
             data_at = activate_at + t.tRCD + t.tCL
             # The bank cannot take another column command before the burst
             # completes, nor precharge before tRAS from activate.
-            self.ready_time = max(activate_at + t.tRAS, data_at + t.burst_cycles)
-        self._touch_row(row)
+            ras = activate_at + t.tRAS
+            burst_done = data_at + t.burst_cycles
+            self.ready_time = ras if ras >= burst_done else burst_done
+            rows[row] = None
+            if len(rows) > self.row_window:
+                rows.popitem(last=False)
         return data_at
 
     @property

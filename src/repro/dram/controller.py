@@ -83,12 +83,15 @@ class MemoryController:
             self.writes += 1
         else:
             self.reads += 1
-        bank_idx, row = self.map(partition_line_addr)
+        # Inlined map(): bank = addr % banks, row = rest / lines-per-row.
+        bank_idx = partition_line_addr % self.num_banks
+        row = (partition_line_addr // self.num_banks) // self.lines_per_row
         bank = self.banks[bank_idx]
         rrd_gate = self.last_activate_any + self.timing.tRRD
         hits_before = bank.row_hits
         data_at = bank.service(now, row, rrd_gate=rrd_gate)
-        self.last_activate_any = max(self.last_activate_any, bank.last_activate)
+        if bank.last_activate > self.last_activate_any:
+            self.last_activate_any = bank.last_activate
         if self.obs is not None:
             self.obs.emit(
                 EV_DRAM_ROW_HIT if bank.row_hits > hits_before else EV_DRAM_ROW_MISS,
@@ -96,7 +99,7 @@ class MemoryController:
                 bank=bank_idx, row=row, write=is_write,
             )
         # Serialize the 128 B burst on the shared channel data bus.
-        start = max(data_at, self.bus_next_free)
+        start = data_at if data_at >= self.bus_next_free else self.bus_next_free
         done = start + self.timing.burst_cycles
         self.bus_next_free = done
         if is_write:

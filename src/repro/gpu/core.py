@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.gpu.coalescer import Coalescer
-from repro.gpu.schedulers import make_scheduler
+from repro.gpu.schedulers import LRRScheduler, make_scheduler
 from repro.gpu.warp import Warp
 from repro.obs.events import EV_CTA_DONE, EV_CTA_LAUNCH
 from repro.sim.config import GPUConfig
@@ -48,6 +48,16 @@ class SIMTCore:
             # this core's L1 statistics.
             self.scheduler.bind_stats(memory.l1s[core_id].stats)
         self.coalescer = Coalescer(config.line_size, config.simt_width)
+        # Issue-loop constants, hoisted out of the per-step dispatch.
+        self._alu_latency = config.alu_latency
+        self._smem_latency = config.smem_latency
+        self._coal_shift = self.coalescer._shift
+        self._mem_load = memory.load
+        self._mem_store = memory.store
+        self._mem_atomic = memory.atomic
+        # The default LRR scheduler's pick loop is inlined in step();
+        # exact subclasses only, so custom schedulers keep their hooks.
+        self._lrr = self.scheduler if type(self.scheduler) is LRRScheduler else None
 
         self.warps: List[Warp] = []
         self._cta_remaining: Dict[int, int] = {}
@@ -153,58 +163,95 @@ class SIMTCore:
         it is drained (no live warps).
         """
         self.completed_cta = False
-        warp = self.scheduler.pick(self.warps, now)
+        lrr = self._lrr
+        if lrr is not None:
+            # Inlined LRRScheduler.pick (identical scan order).
+            warps = self.warps
+            warp = None
+            n = len(warps)
+            if n:
+                start = lrr._next % n
+                for off in range(n):
+                    idx = start + off
+                    if idx >= n:
+                        idx -= n
+                    w = warps[idx]
+                    if not w.done and not w.at_barrier and w.ready_time <= now:
+                        lrr._next = (idx + 1) % n
+                        warp = w
+                        break
+        else:
+            warp = self.scheduler.pick(self.warps, now)
         if warp is None:
-            pending = [
-                w.ready_time
-                for w in self.warps
-                if not w.done and not w.at_barrier
-            ]
-            if pending:
-                nxt = min(pending)
+            nxt = -1
+            for w in self.warps:
+                if not w.done and not w.at_barrier:
+                    rt = w.ready_time
+                    if nxt < 0 or rt < nxt:
+                        nxt = rt
+            if nxt >= 0:
                 # Guard against scheduler anomalies: never stall in place.
                 return nxt if nxt > now else now + 1
             return IDLE
 
-        cfg = self.config
         op, arg = warp.program[warp.pc]
         next_issue = now + 1
 
         if op == OP_ALU:
             count = arg
-            warp.ready_time = now + count + cfg.alu_latency
+            warp.ready_time = now + count + self._alu_latency
             warp.issued += count
             self.instructions += count
             next_issue = now + count
         elif op == OP_SMEM:
             count = arg
-            warp.ready_time = now + count + cfg.smem_latency
+            warp.ready_time = now + count + self._smem_latency
             warp.issued += count
             self.instructions += count
             next_issue = now + count
         elif op == OP_LOAD:
-            lines = self.coalescer.coalesce(arg)
+            # Inlined coalesce (lane counts are validated when traces are
+            # built): dict.fromkeys is an order-preserving C-speed dedup.
+            shift = self._coal_shift
+            lines = list(dict.fromkeys(a >> shift for a in arg))
+            co = self.coalescer
+            co.warp_accesses += 1
+            co.transactions += len(lines)
+            load = self._mem_load
+            core_id = self.core_id
             completion = now + 1
             for line_addr in lines:
-                done = self.memory.load(self.core_id, line_addr, now)
+                done = load(core_id, line_addr, now)
                 if done > completion:
                     completion = done
             warp.ready_time = completion
             warp.issued += 1
             self.instructions += 1
         elif op == OP_STORE:
-            lines = self.coalescer.coalesce(arg)
+            shift = self._coal_shift
+            lines = list(dict.fromkeys(a >> shift for a in arg))
+            co = self.coalescer
+            co.warp_accesses += 1
+            co.transactions += len(lines)
+            store = self._mem_store
+            core_id = self.core_id
             for line_addr in lines:
-                self.memory.store(self.core_id, line_addr, now)
+                store(core_id, line_addr, now)
             # Stores retire into write buffers: the warp only waits for the
             # transactions to leave the core's memory port.
             warp.ready_time = now + len(lines)
             warp.issued += 1
             self.instructions += 1
         elif op == OP_ATOM:
-            lines = self.coalescer.coalesce(arg)
+            shift = self._coal_shift
+            lines = list(dict.fromkeys(a >> shift for a in arg))
+            co = self.coalescer
+            co.warp_accesses += 1
+            co.transactions += len(lines)
+            atomic = self._mem_atomic
+            core_id = self.core_id
             for line_addr in lines:
-                self.memory.atomic(self.core_id, line_addr, now)
+                atomic(core_id, line_addr, now)
             warp.ready_time = now + len(lines)
             warp.issued += 1
             self.instructions += 1
@@ -233,7 +280,40 @@ class SIMTCore:
 
         if now > self.finish_time:
             self.finish_time = now
-        return next_issue
+        # Fused wakeup: the issue port frees at next_issue, but issuing
+        # also needs a ready warp.  Returning max(next_issue, earliest
+        # warp-ready time) skips the idle wakeup the engine would
+        # otherwise schedule just to discover nothing can issue — in
+        # memory-bound phases those no-op rounds are ~40% of all events.
+        # Warp ready times only change inside this core's own step, so
+        # nothing can become ready earlier in between.  The scan bails as
+        # soon as one warp is ready by next_issue (the exact minimum is
+        # irrelevant below the port-free time).
+        mn = -1
+        for w in self.warps:
+            if not w.done and not w.at_barrier:
+                rt = w.ready_time
+                if rt <= next_issue:
+                    return next_issue
+                if mn < 0 or rt < mn:
+                    mn = rt
+        if mn < 0:
+            # Every remaining warp is done (or parked forever, which the
+            # barrier-release invariant excludes): nothing left to issue.
+            return IDLE
+        # Fusing skips exactly one engine round: the wake at next_issue
+        # whose pick() would have found nothing ready.  Stateful
+        # schedulers (GTO's greedy slot, two-level's active set, the
+        # throttle monitor) mutate their state even on that empty pick —
+        # GTO in particular drops its greedy warp when it stalls — so
+        # replay the call they would have seen.  Warp state cannot change
+        # between now and next_issue (ready times only move inside this
+        # core's own step, and mid-kernel CTA launches only target cores
+        # whose slot just freed), so the replayed pick is exact: it
+        # returns None here by the same scan that chose `mn` above.
+        if lrr is None:
+            self.scheduler.pick(self.warps, next_issue)
+        return mn
 
     def drained(self) -> bool:
         """No live warps remain on this core."""

@@ -47,10 +47,17 @@ class LRRScheduler(WarpScheduler):
         n = len(warps)
         if n == 0:
             return None
+        # Hot loop: the readiness test is inlined (attribute reads beat a
+        # method call per candidate) and the modulo is replaced by one
+        # wrap-around subtract.  Scan order is identical to the classic
+        # `(next + off) % n` formulation.
+        start = self._next % n
         for off in range(n):
-            idx = (self._next + off) % n
+            idx = start + off
+            if idx >= n:
+                idx -= n
             warp = warps[idx]
-            if warp.ready(now):
+            if not warp.done and not warp.at_barrier and warp.ready_time <= now:
                 self._next = (idx + 1) % n
                 return warp
         return None
@@ -71,11 +78,21 @@ class GTOScheduler(WarpScheduler):
 
     def pick(self, warps: List[Warp], now: int) -> Optional[Warp]:
         greedy = self._greedy
-        if greedy is not None and not greedy.done and greedy.ready(now):
+        if (
+            greedy is not None
+            and not greedy.done
+            and not greedy.at_barrier
+            and greedy.ready_time <= now
+        ):
             return greedy
         oldest: Optional[Warp] = None
         for warp in warps:
-            if warp.ready(now) and (oldest is None or warp.age < oldest.age):
+            if (
+                not warp.done
+                and not warp.at_barrier
+                and warp.ready_time <= now
+                and (oldest is None or warp.age < oldest.age)
+            ):
                 oldest = warp
         self._greedy = oldest
         return oldest

@@ -13,7 +13,7 @@ can take either.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import List
 
 from repro.obs.events import EV_NOC_DEQUEUE, EV_NOC_ENQUEUE
 
@@ -53,17 +53,18 @@ class CrossbarNoC:
         self.data_flits = max(1, -(-(data_size + ctrl_size) // channel_width))
         # Output-port next-free times: partitions for the request side,
         # cores for the response side.
-        self._to_partition_free: Dict[int, int] = {}
-        self._to_core_free: Dict[int, int] = {}
+        self._to_partition_free: List[int] = [0] * num_partitions
+        self._to_core_free: List[int] = [0] * num_cores
         #: Event bus when tracing is enabled (see repro.obs.wire).
         self.obs = None
         self.packets_sent = 0
         self.total_hops = 0  # kept for interface parity (1 "hop" each)
 
-    def _send(self, free: Dict[int, int], port: int, start: int, flits: int) -> int:
+    def _send(self, free: List[int], port: int, start: int, flits: int) -> int:
         self.packets_sent += 1
         self.total_hops += 1
-        depart = max(start, free.get(port, 0))
+        busy = free[port]
+        depart = start if start >= busy else busy
         free[port] = depart + flits
         arrive = depart + self.traversal_latency + flits - 1
         if self.obs is not None:

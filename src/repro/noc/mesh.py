@@ -59,7 +59,20 @@ class MeshNoC:
         self._coords: List[Tuple[int, int]] = [
             (i // self.cols, i % self.cols) for i in range(self.num_nodes)
         ]
-        self._link_free: Dict[Tuple[int, int], int] = {}
+        # Routes are static (XY), so precompute every (src, dst) path once
+        # as a tuple of dense link ids; `send` then walks a flat int list
+        # against a flat next-free-time array instead of re-deriving
+        # coordinate pairs and hashing them into a dict per packet.
+        link_ids: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = {}
+        self._paths: List[Tuple[int, ...]] = []
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                self._paths.append(tuple(
+                    link_ids.setdefault(link, len(link_ids))
+                    for link in self._path(src, dst)
+                ))
+        self._path_lens: List[int] = [len(p) for p in self._paths]
+        self._link_free: List[int] = [0] * len(link_ids)
         #: Event bus when tracing is enabled (see repro.obs.wire).
         self.obs = None
         self.packets_sent = 0
@@ -109,13 +122,17 @@ class MeshNoC:
         if src_node == dst_node:
             return start
         self.packets_sent += 1
+        link_free = self._link_free
+        hop_latency = self.hop_latency
+        pidx = src_node * self.num_nodes + dst_node
+        path = self._paths[pidx]
         t = start
-        for link in self._path(src_node, dst_node):
-            free = self._link_free.get(link, 0)
-            depart = max(t, free)
-            self._link_free[link] = depart + flits
-            t = depart + self.hop_latency
-            self.total_hops += 1
+        for link in path:
+            free = link_free[link]
+            depart = t if t >= free else free
+            link_free[link] = depart + flits
+            t = depart + hop_latency
+        self.total_hops += self._path_lens[pidx]
         # The tail flit trails the head by the serialization length.
         return t + flits - 1
 
@@ -135,26 +152,34 @@ class MeshNoC:
             )
         return arrive
 
+    # The three public send flavours inline the node arithmetic (cores
+    # are nodes 0..C-1, partitions C..C+P-1) and skip the tracing wrapper
+    # when no event bus is attached — they run once per packet, and the
+    # ids come from the memory system, which already bounds them
+    # (core_node/partition_node remain the validated API).
+
     def send_request(self, core_id: int, partition_id: int, start: int) -> int:
         """Core -> L2 bank control packet (read request / write header)."""
-        return self._traced_send(
-            self.core_node(core_id), self.partition_node(partition_id), start,
-            self.ctrl_flits, "request",
-        )
+        dst = self.num_cores + partition_id
+        if self.obs is not None:
+            return self._traced_send(core_id, dst, start, self.ctrl_flits, "request")
+        return self.send(core_id, dst, start, self.ctrl_flits)
 
     def send_data_request(self, core_id: int, partition_id: int, start: int) -> int:
         """Core -> L2 bank packet carrying write data."""
-        return self._traced_send(
-            self.core_node(core_id), self.partition_node(partition_id), start,
-            self.data_flits, "data_request",
-        )
+        dst = self.num_cores + partition_id
+        if self.obs is not None:
+            return self._traced_send(
+                core_id, dst, start, self.data_flits, "data_request"
+            )
+        return self.send(core_id, dst, start, self.data_flits)
 
     def send_response(self, partition_id: int, core_id: int, start: int) -> int:
         """L2 bank -> core data response (carries the victim-bit hint)."""
-        return self._traced_send(
-            self.partition_node(partition_id), self.core_node(core_id), start,
-            self.data_flits, "response",
-        )
+        src = self.num_cores + partition_id
+        if self.obs is not None:
+            return self._traced_send(src, core_id, start, self.data_flits, "response")
+        return self.send(src, core_id, start, self.data_flits)
 
     @property
     def average_hops(self) -> float:

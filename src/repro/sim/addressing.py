@@ -42,6 +42,11 @@ class AddressMap:
         self._part_bits = num_partitions.bit_length() - 1
         self._part_mask = num_partitions - 1
         self._offset_mask = interleave_lines - 1
+        # partition() runs once per memory transaction and is pure in the
+        # chunk index, so its XOR-fold result is memoised per chunk.  The
+        # working set of distinct chunks is bounded by the footprint
+        # (one entry per 2 KB of touched address space by default).
+        self._part_cache: dict = {}
 
     def _hash_hi(self, chunk_hi: int) -> int:
         """XOR-fold the upper chunk bits into a partition-width value.
@@ -64,7 +69,11 @@ class AddressMap:
     def partition(self, line_addr: int) -> int:
         """Memory partition (= L2 bank = MC) holding ``line_addr``."""
         chunk = line_addr >> self._chunk_shift
-        return (chunk ^ self._hash_hi(chunk >> self._part_bits)) & self._part_mask
+        part = self._part_cache.get(chunk)
+        if part is None:
+            part = (chunk ^ self._hash_hi(chunk >> self._part_bits)) & self._part_mask
+            self._part_cache[chunk] = part
+        return part
 
     def local(self, line_addr: int) -> int:
         """Partition-local line address (dense within the partition)."""

@@ -17,10 +17,11 @@ next-free-time bookkeeping consistent.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import List, Optional
 
 from repro.cache.cache import Cache
-from repro.cache.mshr import MSHRFile
+from repro.cache.mshr import MSHREntry, MSHRFile
 from repro.cache.policies.base import FillContext
 from repro.cache.replacement.lru import LRUPolicy
 from repro.core.victim_bits import VictimBitDirectory
@@ -131,6 +132,16 @@ class MemorySystem:
         self._l1_port_free = [0] * config.num_cores
         self._l2_port_free = [0] * p
         self._aou_free = [0] * p
+        # Hot-loop shortcuts: per-core (L1, MSHR) pairs and scalar
+        # latencies, so load() does one index instead of several
+        # attribute+index chains per transaction.
+        self._per_core = list(zip(self.l1s, self.mshrs))
+        self._l1_hit_latency = config.l1_hit_latency
+        self._partition = self.addr_map.partition
+        self._local = self.addr_map.local
+        self._l2_hit_latency = config.l2_hit_latency
+        self._l2_port_occupancy = config.l2_port_occupancy
+        self._l2_write_validate = config.l2_write_validate
 
         #: Event bus when tracing is enabled (see repro.obs.wire).
         self.obs = None
@@ -155,6 +166,7 @@ class MemorySystem:
         arrive: int,
         is_write: bool,
         full_line_write: bool = True,
+        part: Optional[int] = None,
     ):
         """Access the L2 bank; returns ``(data_time, victim_hint)``.
 
@@ -163,30 +175,35 @@ class MemorySystem:
         memory controller and any dirty-eviction writeback.
         ``full_line_write`` marks stores that cover the whole line and may
         therefore write-validate (skip the allocate fetch); atomics are
-        read-modify-write and must not.
+        read-modify-write and must not.  Callers that already computed the
+        partition pass it via ``part`` to skip the address-map hash.
         """
-        part = self.partition_of(line_addr)
-        local = self.addr_map.local(line_addr)
-        at = max(arrive, self._l2_port_free[part])
-        self._l2_port_free[part] = at + self.config.l2_port_occupancy
+        if part is None:
+            part = self.partition_of(line_addr)
+        local = self._local(line_addr)
+        ports = self._l2_port_free
+        at = ports[part]
+        if arrive > at:
+            at = arrive
+        ports[part] = at + self._l2_port_occupancy
         bank = self.l2_banks[part]
         mc = self.mcs[part]
 
-        result = bank.lookup(local, at, is_write=is_write)
-        if result.hit:
-            data_time = at + self.config.l2_hit_latency
-            line = result.line
+        idx = bank.lookup_fast(local, at, is_write=is_write)
+        if idx >= 0:
+            data_time = at + self._l2_hit_latency
+            line = bank._views[idx]
         else:
             # Miss: fetch the line from DRAM and write-allocate.  A store
             # that covers the full line skips the fetch (write-validate).
-            if is_write and full_line_write and self.config.l2_write_validate:
-                dram_done = at + self.config.l2_hit_latency
+            if is_write and full_line_write and self._l2_write_validate:
+                dram_done = at + self._l2_hit_latency
             else:
-                dram_done = mc.request(local, at + self.config.l2_hit_latency)
+                dram_done = mc.request(local, at + self._l2_hit_latency)
+            # No ctx: the L2 has no management policy, so fill() only
+            # builds one if the event bus needs it.
             fill = bank.fill(
-                local,
-                dram_done,
-                FillContext(line_addr=local, src_id=core_id, is_write=is_write),
+                local, dram_done, known_absent=True, is_write=is_write
             )
             if fill.writeback:
                 mc.request(fill.evicted_tag, dram_done, is_write=True)
@@ -222,15 +239,19 @@ class MemorySystem:
     # ------------------------------------------------------------------
     def load(self, core_id: int, line_addr: int, now: int) -> int:
         """One read transaction; returns its data-ready time at the core."""
-        cfg = self.config
-        port = max(now, self._l1_port_free[core_id])
-        self._l1_port_free[core_id] = port + 1
+        ports = self._l1_port_free
+        port = ports[core_id]
+        if now > port:
+            port = now
+        ports[core_id] = port + 1
 
-        l1 = self.l1s[core_id]
-        mshr = self.mshrs[core_id]
-        mshr.expire(port)
+        l1, mshr = self._per_core[core_id]
+        # Inlined MSHR expiry early-out (the overwhelmingly common case).
+        heap = mshr._ready_heap
+        if heap and heap[0][0] <= port:
+            mshr.expire(port)
 
-        entry = mshr.lookup(line_addr)
+        entry = mshr._pending.get(line_addr)
         if entry is not None:
             # The line is already in flight: merge, complete with the fill.
             l1.stats.loads += 1
@@ -243,9 +264,8 @@ class MemorySystem:
                 )
             return entry.ready_time
 
-        result = l1.lookup(line_addr, port)
-        if result.hit:
-            done = port + cfg.l1_hit_latency
+        if l1.lookup_fast(line_addr, port) >= 0:
+            done = port + self._l1_hit_latency
             self.load_latency_sum += done - now
             self.load_count += 1
             return done
@@ -263,16 +283,33 @@ class MemorySystem:
             t = stall_until
             mshr.expire(t)
 
-        arrive = self.noc.send_request(core_id, self.partition_of(line_addr), t)
-        data_time, hint = self._l2_access(core_id, line_addr, arrive, is_write=False)
-        resp = self.noc.send_response(self.partition_of(line_addr), core_id, data_time)
-
-        fill = l1.fill(
-            line_addr,
-            resp,
-            FillContext(line_addr=line_addr, victim_hint=hint, src_id=core_id),
+        part = self._partition(line_addr)
+        arrive = self.noc.send_request(core_id, part, t)
+        data_time, hint = self._l2_access(
+            core_id, line_addr, arrive, is_write=False, part=part
         )
-        mshr.allocate(line_addr, resp, bypassed=fill.bypassed)
+        resp = self.noc.send_response(part, core_id, data_time)
+
+        if l1._mgmt_needs_ctx or l1.obs is not None:
+            fill = l1.fill(
+                line_addr,
+                resp,
+                FillContext(line_addr=line_addr, victim_hint=hint, src_id=core_id),
+                known_absent=True,
+            )
+        else:
+            fill = l1.fill(line_addr, resp, known_absent=True)
+        # Inlined MSHRFile.allocate: the stall logic above guarantees a
+        # free entry, and the pending-dict probe at the top of this method
+        # rules out duplicates, so the guard raises cannot trigger here.
+        entry = MSHREntry(line_addr, resp, fill.bypassed)
+        pending = mshr._pending
+        pending[line_addr] = entry
+        heappush(mshr._ready_heap, (resp, line_addr))
+        mshr.total_allocations += 1
+        occ = len(pending)
+        if occ > mshr.peak_occupancy:
+            mshr.peak_occupancy = occ
         if self.obs is not None:
             self.obs.emit(
                 EV_MSHR_ALLOC, t, f"MSHR[{core_id}]",
@@ -292,10 +329,13 @@ class MemorySystem:
         self._l1_port_free[core_id] = port + 1
 
         # Write-through, write-no-allocate L1: update on hit, never fill.
-        self.l1s[core_id].lookup(line_addr, port, is_write=True)
+        self.l1s[core_id].lookup_fast(line_addr, port, is_write=True)
 
-        arrive = self.noc.send_data_request(core_id, self.partition_of(line_addr), port + 1)
-        data_time, _ = self._l2_access(core_id, line_addr, arrive, is_write=True)
+        part = self.partition_of(line_addr)
+        arrive = self.noc.send_data_request(core_id, part, port + 1)
+        data_time, _ = self._l2_access(
+            core_id, line_addr, arrive, is_write=True, part=part
+        )
         return data_time
 
     def atomic(self, core_id: int, line_addr: int, now: int) -> int:
@@ -312,7 +352,7 @@ class MemorySystem:
         at = max(arrive, self._aou_free[part])
         self._aou_free[part] = at + self.config.aou_occupancy
         data_time, _ = self._l2_access(
-            core_id, line_addr, at, is_write=True, full_line_write=False
+            core_id, line_addr, at, is_write=True, full_line_write=False, part=part
         )
         return data_time
 

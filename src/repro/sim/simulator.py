@@ -198,24 +198,76 @@ class GPU:
             self._sample_timeline(start_time)
             next_sample = start_time + self.timeline.interval
 
+        # Same-cycle wakeups are drained as one batch: core steps never
+        # generate events at the current cycle (step() returns >= now+1
+        # and _dispatch schedules at now+1), so every event for `now` is
+        # already in the heap when the first one surfaces.  Draining them
+        # together keeps the per-cycle bookkeeping (timeline sampling)
+        # out of the per-core loop, and the batch preserves heap order
+        # (core id ties broken ascending) so results are bit-identical to
+        # the one-pop-at-a-time engine.  Staleness (core.wake != now) is
+        # re-checked at processing time: a stale entry's core either woke
+        # earlier (wake moved past now) or was rescheduled by _dispatch,
+        # and nothing inside the batch can move a wake *to* now.
+        cores = self.cores
+        pop = heapq.heappop
+        push = heapq.heappush
         while heap:
-            now, core_id = heapq.heappop(heap)
-            core = self.cores[core_id]
-            if next_sample is not None and now >= next_sample:
-                self._sample_timeline(now)
-                next_sample = now + self.timeline.interval
+            now, core_id = pop(heap)
+            if heap and heap[0][0] == now:
+                # Same-cycle batch: drain every event for `now` in heap
+                # order (core-id ties ascending, exactly the order the
+                # one-pop-at-a-time engine used).  Safe because steps
+                # never generate same-cycle events: step() returns
+                # >= now+1 and _dispatch schedules at now+1.  Staleness
+                # (core.wake != now) is re-checked at processing time;
+                # nothing inside the batch can move a wake *to* now.
+                batch = [core_id]
+                while heap and heap[0][0] == now:
+                    batch.append(pop(heap)[1])
+                if next_sample is not None and now >= next_sample:
+                    self._sample_timeline(now)
+                    next_sample = now + self.timeline.interval
+                for core_id in batch:
+                    core = cores[core_id]
+                    if core.wake != now:
+                        continue  # stale event
+                    nxt = core.step(now)
+                    core.wake = nxt
+                    if nxt is not None:
+                        push(heap, (nxt, core_id))
+                    if core.completed_cta and self._pending:
+                        # Backfill freed resources; may reschedule any
+                        # core, including this one (the wake guard drops
+                        # stale events).
+                        self._dispatch(now, heap)
+                continue
+            core = cores[core_id]
             if core.wake != now:
                 continue  # stale event
-            nxt = core.step(now)
-            if nxt is None:
-                core.wake = None
-            else:
+            # Single-event fast path: keep stepping this core inline
+            # while its next wake precedes every other scheduled event
+            # ((nxt, core_id) <= heap[0] matches heap order, including
+            # the core-id tiebreak) — this skips a push+pop+stale-check
+            # round per continued step.  A CTA completion exits to the
+            # slow path because _dispatch may reschedule any core.
+            while True:
+                if next_sample is not None and now >= next_sample:
+                    self._sample_timeline(now)
+                    next_sample = now + self.timeline.interval
+                nxt = core.step(now)
                 core.wake = nxt
-                heapq.heappush(heap, (nxt, core_id))
-            if core.completed_cta and self._pending:
-                # Backfill freed resources; may reschedule any core,
-                # including this one (the wake guard drops stale events).
-                self._dispatch(now, heap)
+                if core.completed_cta and self._pending:
+                    if nxt is not None:
+                        push(heap, (nxt, core_id))
+                    self._dispatch(now, heap)
+                    break
+                if nxt is None:
+                    break
+                if heap and (nxt, core_id) > heap[0]:
+                    push(heap, (nxt, core_id))
+                    break
+                now = nxt
 
         if self._pending:  # pragma: no cover - defensive
             raise RuntimeError(f"{len(self._pending)} CTAs were never scheduled")
@@ -275,6 +327,8 @@ def simulate_sequence(
     config: Optional[GPUConfig] = None,
     design: Optional[DesignSpec] = None,
     victim_share_factor: int = 1,
+    timeline=None,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
     """Run several kernels back-to-back on one warm GPU.
 
@@ -283,8 +337,18 @@ def simulate_sequence(
     victim bits and bypass switches persist across launches — cross-kernel
     cache behaviour is exactly what this API exposes.
 
+    ``timeline`` and ``obs`` are threaded through to the underlying
+    :class:`GPU` exactly as in :func:`simulate`; a single timeline /
+    event stream then spans every kernel of the sequence.
+
     Returns an aggregate :class:`RunResult` whose name joins the kernel
-    names and whose counters cover the whole sequence.
+    names and whose counters cover the whole sequence.  The top-level
+    ``extras`` keep the final kernel's view (histories are cumulative, so
+    that view covers the whole run), and ``extras["per_kernel"]`` maps
+    each kernel's name to the extras snapshot taken when it finished —
+    previously the intermediate snapshots were simply overwritten.  A
+    kernel name launched more than once gets a ``name#index`` key for
+    every repeat after the first.
     """
     traces = list(traces)
     if not traces:
@@ -293,14 +357,19 @@ def simulate_sequence(
         config = GPUConfig()
     if design is None:
         design = make_design("bs")
-    gpu = GPU(config, design, victim_share_factor)
+    gpu = GPU(config, design, victim_share_factor, timeline=timeline, obs=obs)
     start = 0
     result: Optional[RunResult] = None
+    per_kernel: Dict[str, Dict[str, object]] = {}
     for i, trace in enumerate(traces):
         last = i == len(traces) - 1
         result = gpu.run(trace, start_time=start, finalize=last)
+        key = trace.name if trace.name not in per_kernel else f"{trace.name}#{i}"
+        per_kernel[key] = result.extras
         start = result.cycles + 1
     assert result is not None
+    extras: Dict[str, object] = dict(result.extras)
+    extras["per_kernel"] = per_kernel
     return RunResult(
         benchmark="+".join(t.name for t in traces),
         design=design.key,
@@ -311,7 +380,7 @@ def simulate_sequence(
         avg_load_latency=result.avg_load_latency,
         dram_requests=result.dram_requests,
         dram_row_hit_rate=result.dram_row_hit_rate,
-        extras=result.extras,
+        extras=extras,
     )
 
 

@@ -67,8 +67,16 @@ class TestIssue:
     def test_alu_group_occupies_issue_slots(self, tiny_config):
         core, _ = make_core(tiny_config)
         core.launch(CTATrace(warps=[[alu(5)]]), 0, now=0)
-        start = core.step(1)  # issues the group
-        assert start == 1 + 5
+        finish = core.warps[0], core.step(1)  # issues the group
+        warp, start = finish
+        # Issuing the 5-slot group retires the single-instruction program,
+        # so the fused wakeup reports the core drained (None) instead of
+        # scheduling a no-op round at port-free time; the group still
+        # occupied its slots plus the ALU latency.
+        assert start is None
+        assert core.drained()
+        assert warp.ready_time == 1 + 5 + tiny_config.alu_latency
+        assert core.finish_time == 1 + 5 + tiny_config.alu_latency
         assert core.instructions == 5
 
     def test_load_blocks_warp_until_data(self, tiny_config):
@@ -98,6 +106,29 @@ class TestIssue:
         core.step(1)
         core.step(2)
         assert all(w.pc == 1 for w in core.warps)
+
+    def test_fused_wakeup_replays_empty_pick_for_gto(self, tiny_config):
+        # When no warp is ready at next_issue, step() returns the earliest
+        # ready time directly instead of letting the engine wake it for an
+        # empty round.  Stateful schedulers must still observe that empty
+        # pick: GTO drops its greedy warp when it stalls, so after both
+        # warps stall on the same line (MSHR-merged, same completion) the
+        # next pick must go to the OLDEST warp, not the stale greedy.
+        import dataclasses
+
+        cfg = dataclasses.replace(tiny_config, warp_scheduler="gto")
+        mem = MemorySystem(cfg, make_design("bs"))
+        core = SIMTCore(0, cfg, mem)
+        core.launch(
+            CTATrace(warps=[[ld(0), alu(1)], [ld(64), alu(1)]]), 0, now=0
+        )
+        assert core.step(0) == 1           # launched warps ready at 1
+        assert core.step(1) == 2           # w0 (oldest) issues its load
+        assert core.step(2) > 3            # w1 issues; both stalled at 3
+        # The fused return skipped the engine's empty round at cycle 3 —
+        # the replayed pick must still have dropped the greedy warp (w1),
+        # exactly as the empty round would have.
+        assert core.scheduler._greedy is None
 
 
 class TestBarriers:

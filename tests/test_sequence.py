@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.obs import Observability
+from repro.obs.events import EV_CTA_LAUNCH
 from repro.sim.designs import make_design
 from repro.sim.simulator import simulate, simulate_sequence
+from repro.stats.timeline import Timeline
 from repro.trace.suite import build_benchmark
 
 from conftest import alu, ld, make_kernel
@@ -52,4 +55,63 @@ class TestSequence:
         assert result.benchmark == "SD1+SD2"
         assert result.instructions == (
             sd1.instruction_count() + sd2.instruction_count()
+        )
+
+
+class TestSequenceInstrumentation:
+    def test_timeline_spans_every_kernel(self, tiny_config):
+        kernel = make_kernel([[ld(0), alu(2)] * 8], ctas=4, name="k")
+        tl = Timeline(interval=50)
+        result = simulate_sequence([kernel, kernel], tiny_config, timeline=tl)
+        points = tl.points
+        assert points, "timeline collected no samples"
+        # One timeline covers the whole sequence: sampling continues past
+        # the first kernel's completion and cycles/instructions are
+        # monotonic across the kernel boundary.
+        assert points[-1].cycle > result.cycles // 2
+        instrs = [p.instructions for p in points]
+        assert instrs == sorted(instrs)
+        assert instrs[-1] == result.instructions
+
+    def test_obs_stream_spans_every_kernel(self, tiny_config):
+        kernel = make_kernel([[ld(0)]], ctas=2, name="k")
+        obs = Observability.in_memory()
+        simulate_sequence([kernel, kernel], tiny_config, obs=obs)
+        launches = [
+            e for e in obs.ring().events() if e.kind == EV_CTA_LAUNCH
+        ]
+        assert len(launches) == 4  # 2 CTAs x 2 kernels, one event stream
+        # The second kernel's CTAs are stamped at the warm GPU's running
+        # clock, not cycle zero — one event stream, one time axis.
+        assert launches[-1].cycle > launches[0].cycle
+
+    def test_per_kernel_extras_keyed_by_name(self, tiny_config):
+        k1 = make_kernel([[ld(0), alu(2)]], ctas=2, name="sd1")
+        k2 = make_kernel([[ld(8), alu(3)]], ctas=2, name="sd2")
+        result = simulate_sequence([k1, k2], tiny_config, make_design("gc"))
+        per_kernel = result.extras["per_kernel"]
+        assert set(per_kernel) == {"sd1", "sd2"}
+        # Snapshots are cumulative, taken at each kernel's completion:
+        # sd2's view includes sd1's accesses, and the final kernel's
+        # snapshot agrees with the sequence-level counters.
+        assert (
+            per_kernel["sd1"]["metrics"]["l1.loads"]
+            < per_kernel["sd2"]["metrics"]["l1.loads"]
+        )
+        assert (
+            per_kernel["sd2"]["metrics"]["l1.loads"] == result.l1.loads
+        )
+
+    def test_duplicate_kernel_names_get_indexed_keys(self, tiny_config):
+        kernel = make_kernel([[ld(0), alu(2)]], ctas=1, name="iter")
+        result = simulate_sequence(
+            [kernel, kernel, kernel], tiny_config, make_design("gc")
+        )
+        per_kernel = result.extras["per_kernel"]
+        assert set(per_kernel) == {"iter", "iter#1", "iter#2"}
+        # Later snapshots accumulate more work than earlier ones.
+        assert (
+            per_kernel["iter"]["metrics"]["l1.loads"]
+            < per_kernel["iter#1"]["metrics"]["l1.loads"]
+            < per_kernel["iter#2"]["metrics"]["l1.loads"]
         )
