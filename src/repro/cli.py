@@ -22,6 +22,15 @@ Examples::
     python -m repro compare --benchmark SSC --designs bs,bs-s,gc
     python -m repro campaign --benchmarks SPMV,KMN,SSC --jobs 8 \\
         --cache-dir ~/.cache/repro --manifest run.json
+    python -m repro campaign --jobs 8 --cache-dir ~/.cache/repro \\
+        --retries 3 --task-timeout 600 --keep-going    # fault-tolerant
+    python -m repro campaign --jobs 8 --cache-dir ~/.cache/repro --resume
+
+``campaign`` and ``compare`` are fault-tolerant: per-task retries with
+exponential backoff (``--retries``), hung-worker reclamation
+(``--task-timeout``), ``--keep-going`` to survive individual task
+failures, and a crash-safe journal enabling ``--resume`` after a crash
+or Ctrl-C (see the resilience section of ``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from typing import List, Optional
 
 from repro.experiments.common import EvalSuite, sweep_optimal_pd
 from repro.experiments.fig8_speedup import render_fig8
+from repro.faults import FaultPlan
 from repro.obs import Observability
 from repro.obs.events import EVENT_KINDS
 from repro.runner import CampaignEngine, ResultCache
@@ -84,7 +94,24 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--invalidate", action="store_true",
                         help="drop every cached entry before running")
     parser.add_argument("--manifest", type=Path, default=None,
-                        help="write the run manifest JSON to this path")
+                        help="write the run manifest JSON to this path "
+                             "(also flushed, marked interrupted, on Ctrl-C)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="failures tolerated per task before it is "
+                             "declared failed (default: 2; 0 = fail fast)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock budget; overruns kill "
+                             "the hung worker and retry (pool mode only)")
+    parser.add_argument("--journal", type=Path, default=None,
+                        help="campaign journal (JSONL of completed task "
+                             "keys; default: <cache-dir>/journal.jsonl)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip tasks the journal records as completed "
+                             "(serving them from the cache) and run the rest")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="on task failure, record it and finish the "
+                             "campaign instead of aborting (exit code 1)")
 
 
 def _config(args: argparse.Namespace) -> GPUConfig:
@@ -92,11 +119,17 @@ def _config(args: argparse.Namespace) -> GPUConfig:
 
 
 def _engine(args: argparse.Namespace, default_jobs: Optional[int] = 1) -> CampaignEngine:
-    """Campaign engine from the ``--jobs``/``--cache-dir``/``--no-cache`` flags.
+    """Campaign engine from the ``--jobs``/``--cache-dir``/``--no-cache``
+    flags plus the resilience knobs.
 
     Interactive subcommands default to no persistent cache unless
     ``--cache-dir`` or ``$REPRO_CACHE_DIR`` names one; ``--no-cache``
-    always wins.
+    always wins.  A journal rides along whenever a cache directory is
+    active (``<cache-dir>/journal.jsonl`` unless ``--journal`` names
+    one); without ``--resume`` a stale journal is truncated, so each
+    campaign's journal describes that campaign alone.  ``$REPRO_FAULTS``
+    (JSON, see :meth:`repro.faults.FaultPlan.from_env`) arms the
+    deterministic fault injector — the CI chaos-smoke hook.
     """
     cache = None
     if not args.no_cache:
@@ -108,14 +141,44 @@ def _engine(args: argparse.Namespace, default_jobs: Optional[int] = 1) -> Campai
             if args.invalidate:
                 dropped = cache.invalidate()
                 print(f"[cache] invalidated {dropped} entries under {cache_dir}")
+    journal = args.journal
+    if journal is None and cache is not None and cache.enabled:
+        journal = cache.root / "journal.jsonl"
+    if args.resume and journal is None:
+        raise SystemExit("--resume needs a journal: pass --journal or --cache-dir")
+    if not args.resume and journal is not None and journal.exists():
+        journal.unlink()  # fresh campaign owns a fresh journal
     jobs = args.jobs if args.jobs is not None else default_jobs
-    return CampaignEngine(jobs=jobs, cache=cache)
+    return CampaignEngine(
+        jobs=jobs,
+        cache=cache,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        keep_going=args.keep_going,
+        journal=journal,
+        resume=args.resume,
+        faults=FaultPlan.from_env(),
+        manifest_path=args.manifest,
+    )
 
 
-def _finish_campaign(engine: CampaignEngine, args: argparse.Namespace) -> None:
+def _finish_campaign(engine: CampaignEngine, args: argparse.Namespace) -> int:
+    """Print the summary (and failures), write the manifest; exit code."""
+    if engine.counters.resumed:
+        print(f"[resume] {engine.counters.resumed} tasks already complete "
+              f"(journal: {engine.journal.path})")
+    if engine.failures:
+        table = Table(["task", "key", "attempts", "last error"],
+                      title="Failed tasks")
+        for err in engine.failures:
+            table.row([err.label, err.key[:12] + "…",
+                       str(len(err.history)), err.history[-1]["error"]])
+        print(table.render())
+        print()
     print(engine.counters.render())
     if args.manifest is not None:
         print(f"[manifest] {engine.write_manifest(args.manifest)}")
+    return 1 if engine.failures else 0
 
 
 def _design(key: str, trace, config):
@@ -214,7 +277,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(table.render())
     if args.manifest is not None:
         print(f"[manifest] {suite.engine.write_manifest(args.manifest)}")
-    return 0
+    return 1 if suite.engine.failures else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -285,11 +348,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=engine,
     )
-    suite.run_matrix(keys)
-    print(render_fig8(suite, designs=keys))
-    print()
-    _finish_campaign(engine, args)
-    return 0
+    try:
+        suite.run_matrix(keys)
+    except KeyboardInterrupt:
+        done = engine.counters.unique_tasks
+        print(f"\n[interrupted] {done} tasks completed and journaled; "
+              f"rerun with --resume to pick up the remainder", file=sys.stderr)
+        if args.manifest is not None:
+            print(f"[manifest] {args.manifest} (partial, interrupted=true)",
+                  file=sys.stderr)
+        return 130
+    if not engine.failures:
+        # Figure rendering walks every payload; skip it when some slots
+        # hold the FAILED sentinel (--keep-going) and report instead.
+        print(render_fig8(suite, designs=keys))
+        print()
+    return _finish_campaign(engine, args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -13,6 +13,12 @@ Options:
     --invalidate    drop every cached entry before running
     --manifest P    also write the run manifest JSON to P (a manifest is
                     always written into the cache directory when caching)
+    --retries N     failures tolerated per task before giving up (default 2)
+    --task-timeout S  per-attempt wall-clock budget, enforced under jobs>=2
+    --keep-going    record failed tasks and finish the campaign (exit 1)
+    --resume        skip tasks the campaign journal marks completed
+                    (journal: <cache-dir>/journal.jsonl; Ctrl-C flushes a
+                    partial manifest so full-scale passes are resumable)
 
 The full campaign fans out over a process pool and is served from the
 content-addressed result cache on reruns — a warm rerun skips every
@@ -81,6 +87,22 @@ def main(argv=None) -> int:
         "--manifest", type=Path, default=None,
         help="write the run manifest JSON to this path",
     )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="failures tolerated per task before giving up (default: 2)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget (enforced under --jobs >= 2)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="record failed tasks and finish the campaign (exit code 1)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip tasks the campaign journal records as completed",
+    )
     args = parser.parse_args(argv)
 
     wanted = [w.strip() for w in args.only.split(",") if w.strip()]
@@ -98,44 +120,82 @@ def main(argv=None) -> int:
         if args.invalidate:
             dropped = cache.invalidate()
             print(f"[cache] invalidated {dropped} entries under {cache_dir}")
-    engine = CampaignEngine(jobs=args.jobs, cache=cache)
+    journal = None
+    if cache is not None and cache.enabled:
+        journal = cache.root / "journal.jsonl"
+        if not args.resume and journal.exists():
+            journal.unlink()  # fresh campaign owns a fresh journal
+    if args.resume and journal is None:
+        parser.error("--resume needs a journal; it lives in the cache "
+                     "directory, so drop --no-cache")
+    from repro.faults import FaultPlan
+
+    engine = CampaignEngine(
+        jobs=args.jobs,
+        cache=cache,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        keep_going=args.keep_going,
+        journal=journal,
+        resume=args.resume,
+        faults=FaultPlan.from_env(),
+        manifest_path=args.manifest,
+    )
 
     t0 = time.time()
     suite = EvalSuite(
         benchmarks=benches, scale=args.scale, seed=args.seed, engine=engine
     )
 
-    if "fig2" in wanted:
-        print(render_fig2(fig2_reuse_distribution(
-            benches, scale=args.scale, seed=args.seed, engine=engine
-        )))
-        print()
-    if "fig3" in wanted or "fig4" in wanted:
-        data = size_sensitivity(scale=args.scale, seed=args.seed, engine=engine)
-        if "fig3" in wanted:
-            print(render_fig3(data))
+    try:
+        if "fig2" in wanted:
+            print(render_fig2(fig2_reuse_distribution(
+                benches, scale=args.scale, seed=args.seed, engine=engine
+            )))
             print()
-        if "fig4" in wanted:
-            print(render_fig4(data))
+        if "fig3" in wanted or "fig4" in wanted:
+            data = size_sensitivity(scale=args.scale, seed=args.seed, engine=engine)
+            if "fig3" in wanted:
+                print(render_fig3(data))
+                print()
+            if "fig4" in wanted:
+                print(render_fig4(data))
+                print()
+        if {"fig8", "fig9", "table3"} & set(wanted):
+            suite.run_matrix(PAPER_DESIGNS)  # one parallel campaign, three views
+        if "fig8" in wanted:
+            print(render_fig8(suite))
             print()
-    if {"fig8", "fig9", "table3"} & set(wanted):
-        suite.run_matrix(PAPER_DESIGNS)  # one parallel campaign, three views
-    if "fig8" in wanted:
-        print(render_fig8(suite))
-        print()
-    if "fig9" in wanted:
-        print(render_fig9(suite))
-        print()
-    if "table3" in wanted:
-        print(render_table3(suite))
-        print()
-    if "fig10" in wanted:
-        suite64 = make_64kb_suite(
-            benches, scale=args.scale, seed=args.seed, engine=engine
-        )
-        suite64.run_matrix(FIG10_DESIGNS)
-        print(render_fig10(suite64))
-        print()
+        if "fig9" in wanted:
+            print(render_fig9(suite))
+            print()
+        if "table3" in wanted:
+            print(render_table3(suite))
+            print()
+        if "fig10" in wanted:
+            suite64 = make_64kb_suite(
+                benches, scale=args.scale, seed=args.seed, engine=engine
+            )
+            suite64.run_matrix(FIG10_DESIGNS)
+            print(render_fig10(suite64))
+            print()
+    except KeyboardInterrupt:
+        # The engine already flushed the journal and (with --manifest) a
+        # partial manifest marked interrupted; tell the user how to go on.
+        print(f"\n[interrupted] {engine.counters.unique_tasks} tasks completed "
+              f"and journaled; rerun with --resume to finish", file=sys.stderr)
+        return 130
+    except Exception:
+        if not engine.failures:
+            raise
+        # --keep-going: failed tasks leave FAILED payload slots the
+        # figure renderers cannot tabulate; fall through and report.
+
+    if engine.failures:
+        print(f"[failed] {len(engine.failures)} tasks exhausted their "
+              f"{args.retries} retries:")
+        for err in engine.failures:
+            print(f"  {err.label}: {err.history[-1]['error']}")
 
     print(engine.counters.render())
     if args.manifest is not None:
@@ -143,7 +203,7 @@ def main(argv=None) -> int:
     elif cache is not None and cache.enabled:
         print(f"[manifest] {engine.write_manifest(cache.root / 'manifest-latest.json')}")
     print(f"[done in {time.time() - t0:.1f}s]")
-    return 0
+    return 1 if engine.failures else 0
 
 
 if __name__ == "__main__":

@@ -66,8 +66,13 @@ class EvalSuite:
             explicit ``engine`` is supplied.
         cache_dir: Persistent result-cache directory; ``None`` disables
             on-disk caching (in-memory memoization always applies).
-        engine: Share a pre-built campaign engine (and thus its cache
-            and counters) across several suites / harnesses.
+        retries: Failures tolerated per task before the campaign gives
+            up on it (forwarded to the engine; ignored with ``engine=``).
+        task_timeout: Per-attempt wall-clock budget in seconds, enforced
+            under ``jobs >= 2`` (forwarded; ignored with ``engine=``).
+        engine: Share a pre-built campaign engine (and thus its cache,
+            journal, fault plan and counters) across several suites /
+            harnesses.
     """
 
     def __init__(
@@ -78,6 +83,8 @@ class EvalSuite:
         seed: int = 0,
         jobs: Optional[int] = 1,
         cache_dir: Optional[str] = None,
+        retries: int = 0,
+        task_timeout: Optional[float] = None,
         engine: Optional[CampaignEngine] = None,
     ) -> None:
         self.config = config if config is not None else GPUConfig()
@@ -86,7 +93,9 @@ class EvalSuite:
         self.seed = seed
         if engine is None:
             cache = ResultCache(cache_dir) if cache_dir is not None else None
-            engine = CampaignEngine(jobs=jobs, cache=cache)
+            engine = CampaignEngine(
+                jobs=jobs, cache=cache, retries=retries, task_timeout=task_timeout
+            )
         self.engine = engine
         self._traces: Dict[str, KernelTrace] = {}
         self._results: Dict[Tuple[str, str], RunResult] = {}

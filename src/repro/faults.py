@@ -1,0 +1,275 @@
+"""Deterministic, seed-driven fault injection for the campaign engine.
+
+Large sweep campaigns die in four characteristic ways: a worker process
+crashes, a worker hangs, a task raises a transient error, or an on-disk
+cache entry rots.  This module makes every one of those failure modes
+*injectable on demand and reproducible bit-for-bit*, so the engine's
+recovery paths (retry, backoff, timeout kill, pool rebuild, checksum
+quarantine) are ordinary tested code instead of hope.
+
+The injector is stateless and pure: whether a fault fires for a given
+``(task key, attempt)`` pair is a function of the :class:`FaultPlan`
+alone — a SHA-256 draw over ``(seed, key, attempt)`` compared against
+the per-kind rates.  That makes decisions identical in the parent
+process, in any worker process, and across reruns, which is what lets
+the chaos tests assert that a faulted campaign converges to *exactly*
+the fault-free numbers.
+
+Completion guarantee: :attr:`FaultPlan.max_faults_per_task` caps how
+many attempts of any single task may fault.  With an engine retry
+budget above the cap, every task eventually executes cleanly, so a
+seeded chaos schedule can never starve a campaign — the property
+``tests/test_runner_determinism.py`` locks in under Hypothesis.
+
+Fault kinds
+-----------
+
+``transient``
+    The attempt raises :class:`TransientFault` before computing.
+``crash``
+    In a pool worker the process exits hard (``os._exit``), breaking
+    the pool exactly like a segfault or OOM kill; in-process (serial)
+    execution raises :class:`WorkerCrashFault` instead, since killing
+    the only interpreter would take the campaign down with it.
+``hang``
+    The attempt sleeps :attr:`FaultPlan.hang_seconds` and then raises
+    :class:`HangFault`.  Under a pool with ``task_timeout`` armed the
+    engine's deadline fires first and kills the worker; serially the
+    finite sleep keeps tests bounded.
+``corrupt``
+    Not an attempt fault: the engine flips a byte of the just-written
+    cache entry (:func:`corrupt_file`), exercising the checksum →
+    quarantine → recompute path on the next read.
+
+Activation: pass a :class:`FaultPlan` to ``CampaignEngine(faults=...)``,
+or set ``$REPRO_FAULTS`` to a JSON object (see :meth:`FaultPlan.from_env`)
+to arm the CLI without code changes — the CI chaos-smoke job does both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultError",
+    "FaultPlan",
+    "HangFault",
+    "TransientFault",
+    "WorkerCrashFault",
+    "corrupt_file",
+    "inject",
+]
+
+#: Exit status used by injected worker crashes (distinctive in ps/logs).
+CRASH_EXIT_CODE = 23
+
+#: Fault kinds drawn per attempt, in cumulative-rate order.
+ATTEMPT_FAULTS = ("crash", "hang", "transient")
+
+
+class FaultError(RuntimeError):
+    """Base class for injected faults (never raised by real failures)."""
+
+
+class TransientFault(FaultError):
+    """Injected one-shot failure; succeeds on a clean retry."""
+
+
+class WorkerCrashFault(FaultError):
+    """Injected crash surfaced as an exception (serial execution only)."""
+
+
+class HangFault(FaultError):
+    """Raised after an injected hang's sleep expires un-killed."""
+
+
+def _draw(seed: int, *parts: object) -> float:
+    """Uniform [0, 1) from a SHA-256 over ``(seed, *parts)``.
+
+    Stable across processes, platforms and ``PYTHONHASHSEED`` — the same
+    property the cache-key scheme relies on.
+    """
+    token = ":".join(str(p) for p in (seed, *parts))
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible fault schedule (picklable; shipped to workers).
+
+    Rates are independent probabilities per *attempt*; an attempt draws
+    one uniform and walks the cumulative ``crash → hang → transient``
+    ladder, so at most one attempt-fault fires per execution.
+
+    Attributes:
+        seed: Schedule seed; every decision derives from it.
+        crash_rate: Probability a given attempt hard-kills its worker.
+        hang_rate: Probability a given attempt hangs.
+        transient_rate: Probability a given attempt raises a transient.
+        corrupt_rate: Probability a task's freshly-written cache entry
+            gets a byte flipped (keyed per task, not per attempt).
+        hang_seconds: How long an injected hang sleeps.  Keep it above
+            the engine ``task_timeout`` to exercise the kill path, or
+            small to exercise slow-but-completing tasks.
+        max_faults_per_task: Hard cap on injected attempt-faults per
+            task key; guarantees campaign completion whenever the
+            engine's retry budget exceeds it.
+        interrupt_after: Engine-side: raise ``KeyboardInterrupt`` after
+            this many task completions — a deterministic stand-in for
+            Ctrl-C that the resume tests use.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    transient_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    hang_seconds: float = 0.25
+    max_faults_per_task: int = 2
+    interrupt_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "hang_rate", "transient_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_faults_per_task < 0:
+            raise ValueError("max_faults_per_task must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Decisions (pure functions of the plan)
+    # ------------------------------------------------------------------
+    def _raw_decision(self, key: str, attempt: int) -> Optional[str]:
+        u = _draw(self.seed, "attempt", key, attempt)
+        edge = 0.0
+        for kind, rate in zip(
+            ATTEMPT_FAULTS, (self.crash_rate, self.hang_rate, self.transient_rate)
+        ):
+            edge += rate
+            if u < edge:
+                return kind
+        return None
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """Fault kind for ``(key, attempt)``, or ``None`` for clean.
+
+        Applies :attr:`max_faults_per_task`: once the cap many earlier
+        attempts of this key have faulted, every later attempt is clean.
+        Computable anywhere without shared state — the cap is enforced
+        by replaying the (cheap) draws for attempts ``0..attempt``.
+        """
+        fired = 0
+        for a in range(attempt + 1):
+            kind = self._raw_decision(key, a)
+            if kind is None:
+                continue
+            if fired >= self.max_faults_per_task:
+                kind = None
+            else:
+                fired += 1
+            if a == attempt:
+                return kind
+        return None
+
+    def decide_corrupt(self, key: str) -> bool:
+        """Whether this task's cache entry gets corrupted after write."""
+        return (
+            self.corrupt_rate > 0.0
+            and _draw(self.seed, "corrupt", key) < self.corrupt_rate
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def chaos(cls, seed: int = 0, rate: float = 0.1, **overrides) -> "FaultPlan":
+        """Every fault kind at ``rate`` — the built-in chaos schedule
+        the acceptance criteria and the CI smoke job run under."""
+        params = dict(
+            seed=seed,
+            crash_rate=rate,
+            hang_rate=rate,
+            transient_rate=rate,
+            corrupt_rate=rate,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def from_env(cls, var: str = "REPRO_FAULTS") -> Optional["FaultPlan"]:
+        """Plan from a JSON env var, or ``None`` when unset/empty.
+
+        ``REPRO_FAULTS='{"seed": 7, "crash_rate": 0.1}'`` arms the CLI
+        campaign path without any code change (CI chaos smoke).
+        """
+        raw = os.environ.get(var, "").strip()
+        if not raw:
+            return None
+        try:
+            spec = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"${var} is not valid JSON: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise ValueError(f"${var} must be a JSON object, got {type(spec).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"${var}: unknown fields {sorted(unknown)}")
+        return cls(**spec)
+
+
+def inject(plan: Optional[FaultPlan], key: str, attempt: int) -> None:
+    """Fire the planned fault for ``(key, attempt)``, if any.
+
+    Called by the worker-side task wrapper before real work starts.
+    ``crash`` exits the process hard when running inside a pool worker
+    (detected via :func:`multiprocessing.parent_process`) and degrades
+    to :class:`WorkerCrashFault` in-process.
+    """
+    if plan is None:
+        return
+    kind = plan.decide(key, attempt)
+    if kind is None:
+        return
+    if kind == "transient":
+        raise TransientFault(f"injected transient fault (attempt {attempt})")
+    if kind == "hang":
+        time.sleep(plan.hang_seconds)
+        raise HangFault(
+            f"injected hang outlived its {plan.hang_seconds}s sleep "
+            f"(attempt {attempt})"
+        )
+    # kind == "crash"
+    if multiprocessing.parent_process() is not None:
+        os._exit(CRASH_EXIT_CODE)
+    raise WorkerCrashFault(f"injected worker crash (attempt {attempt})")
+
+
+def corrupt_file(path: Union[str, os.PathLike], seed: int = 0) -> bool:
+    """Flip one deterministic byte of ``path`` in place.
+
+    Returns ``False`` (no-op) for missing or empty files.  The flipped
+    offset derives from the seed and file name, so a given schedule
+    damages a given entry identically on every run.
+    """
+    path = Path(path)
+    try:
+        blob = bytearray(path.read_bytes())
+    except OSError:
+        return False
+    if not blob:
+        return False
+    offset = int(_draw(seed, "corrupt-offset", path.name) * len(blob))
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    return True

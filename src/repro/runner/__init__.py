@@ -11,7 +11,15 @@ incrementally re-runnable:
   corruption-tolerant reads;
 * :class:`CampaignEngine` — fans task batches out over a process pool
   (``jobs=1`` = serial fallback), probes/fills the cache, and emits a
-  per-run manifest with wall-time and hit/miss counters.
+  per-run manifest with wall-time and hit/miss counters.  Execution is
+  fault-tolerant: bounded retries with exponential backoff, per-task
+  timeouts with hung-worker reclamation, worker-crash pool rebuilds,
+  checksum quarantine of rotten cache entries, and a crash-safe
+  :class:`CampaignJournal` that makes interrupted campaigns resumable
+  (``resume=True``);
+* :mod:`repro.faults` — a deterministic, seed-driven fault injector
+  (``CampaignEngine(faults=FaultPlan.chaos(...))``) so every recovery
+  path above is exercised by tests and CI, not just by bad days.
 
 Quickstart::
 
@@ -31,19 +39,30 @@ state); ``tests/test_runner_determinism.py`` locks this in.
 from repro.runner.cache import (
     CACHE_SCHEMA,
     MISS,
+    QUARANTINE_DIR,
     ResultCache,
     config_fingerprint,
     default_salt,
     stable_hash,
 )
-from repro.runner.engine import CampaignEngine, run_campaign
+from repro.runner.engine import (
+    FAILED,
+    CampaignEngine,
+    CampaignTaskError,
+    run_campaign,
+)
+from repro.runner.journal import CampaignJournal
 from repro.runner.task import PD_SWEEP, Task, run_task, sweep_optimal_pd, trace_digest
 
 __all__ = [
     "CACHE_SCHEMA",
+    "FAILED",
     "MISS",
     "PD_SWEEP",
+    "QUARANTINE_DIR",
     "CampaignEngine",
+    "CampaignJournal",
+    "CampaignTaskError",
     "ResultCache",
     "Task",
     "config_fingerprint",

@@ -18,8 +18,11 @@ its pickled payload::
 
 Writes are atomic (temp file + ``os.replace``), so a crashed or killed
 run can never leave a half-written entry that poisons later runs;
-corrupted or truncated files fail the checksum and are treated as misses
-(and unlinked best-effort), never as errors.
+corrupted or truncated files fail the checksum and are treated as
+misses, never as errors.  Damaged entries are not silently discarded:
+they are *quarantined* — moved to ``<root>/quarantine/<key>.pkl`` and
+counted — so disk rot stays visible in campaign manifests while the
+engine transparently recomputes the result.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from typing import Any, Mapping, Optional, Union
 __all__ = [
     "MISS",
     "CACHE_SCHEMA",
+    "QUARANTINE_DIR",
     "ResultCache",
     "stable_hash",
     "config_fingerprint",
@@ -53,6 +57,9 @@ _PICKLE_PROTOCOL = 4
 
 #: Sentinel returned by :meth:`ResultCache.get` when a key is absent.
 MISS = object()
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_salt() -> str:
@@ -115,6 +122,7 @@ class ResultCache:
         self.misses = 0
         self.puts = 0
         self.corrupt = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -128,6 +136,16 @@ class ResultCache:
         if self.root is None:
             raise ValueError("cache is disabled (root=None)")
         return self.root / key[:2] / f"{key}.pkl"
+
+    @property
+    def quarantine_root(self) -> Path:
+        """Directory corrupt entries are moved to (may not exist yet)."""
+        if self.root is None:
+            raise ValueError("cache is disabled (root=None)")
+        return self.root / QUARANTINE_DIR
+
+    def quarantine_path_for(self, key: str) -> Path:
+        return self.quarantine_root / f"{key}.pkl"
 
     def __contains__(self, key: str) -> bool:
         return self.enabled and self.path_for(key).exists()
@@ -145,7 +163,10 @@ class ResultCache:
 
         A file that is missing, truncated, checksum-mismatched or
         unpicklable counts as a miss — a damaged cache degrades to
-        recomputation, never to a crash or a wrong result.
+        recomputation, never to a crash or a wrong result.  Damaged
+        files are moved to ``quarantine/`` (best-effort) and counted,
+        so corruption is observable and the evidence survives for
+        forensics instead of vanishing as a silent miss.
         """
         if not self.enabled:
             self.misses += 1
@@ -160,13 +181,24 @@ class ResultCache:
         if payload is MISS:
             self.corrupt += 1
             self.misses += 1
+            self._quarantine(key, path)
+            return MISS
+        self.hits += 1
+        return payload
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a damaged entry aside so the slot is clean for re-put."""
+        try:
+            dest = self.quarantine_path_for(key)
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            self.quarantined += 1
+        except OSError:
+            # Fall back to unlinking; the slot must not keep serving rot.
             try:
                 path.unlink()
             except OSError:
                 pass
-            return MISS
-        self.hits += 1
-        return payload
 
     def get_bytes(self, key: str) -> Optional[bytes]:
         """Raw entry bytes (checksum included) — for byte-identity tests."""
@@ -233,6 +265,7 @@ class ResultCache:
             "misses": self.misses,
             "puts": self.puts,
             "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

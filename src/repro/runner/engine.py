@@ -1,24 +1,51 @@
-"""The campaign engine: parallel task execution behind the result cache.
+"""The campaign engine: fault-tolerant parallel execution behind the cache.
 
 :class:`CampaignEngine` is the one place the repository fans simulation
 work out over processes.  Given a batch of :class:`~repro.runner.task.Task`
 objects it
 
-1. computes each task's stable cache key and probes the persistent
+1. computes each task's stable cache key, consults the campaign journal
+   (``resume=True``) and probes the persistent
    :class:`~repro.runner.cache.ResultCache` (when one is attached),
 2. deduplicates the remaining misses by key and executes them — serially
    for ``jobs=1`` (also the fallback for single-task batches, where a
    pool would only add fork latency), or on a ``ProcessPoolExecutor``
    otherwise,
-3. writes results back to the cache atomically and records per-task wall
-   times and hit/miss counters
-   (:class:`~repro.stats.campaign.CampaignCounters`),
+3. survives partial failure: every attempt is covered by a bounded
+   retry budget with exponential backoff, pool runs enforce a per-task
+   ``task_timeout`` by killing and rebuilding the pool, and a worker
+   crash (``BrokenProcessPool``) likewise rebuilds the pool and retries
+   the interrupted tasks,
+4. writes results back to the cache atomically, appends each completed
+   key to the crash-safe :class:`~repro.runner.journal.CampaignJournal`,
+   and records per-task wall times, attempts and hit/miss/retry
+   counters (:class:`~repro.stats.campaign.CampaignCounters`),
 
 and returns payloads aligned with the submitted batch.  Because every
 task is executed from scratch in its own interpreter state (workers
 rebuild traces and policy objects from the task description), results
-are bit-identical regardless of ``jobs`` or submission order — the
-property the determinism test layer locks in.
+are bit-identical regardless of ``jobs``, submission order, or how many
+faults were recovered along the way — the property the determinism and
+chaos test layers lock in.
+
+Failure semantics
+-----------------
+
+A task *failure* is any exception from an attempt, an engine-enforced
+timeout, or a pool break while the task was in flight (crashes cannot
+be attributed to one future, so every in-flight task is charged — the
+honest accounting, and still bounded).  A task whose failures exceed
+``retries`` raises :class:`CampaignTaskError` carrying the task label,
+key and full attempt history; with ``keep_going=True`` the error is
+recorded, the payload slot gets the :data:`FAILED` sentinel, and the
+rest of the campaign completes.  ``KeyboardInterrupt`` is never
+retried: the journal is already flushed per task, a partial manifest
+marked ``"interrupted": true`` is written (when ``manifest_path`` is
+set), and the interrupt propagates.
+
+Fault injection (:class:`repro.faults.FaultPlan`) threads through the
+same worker entry point (:func:`repro.runner.task.run_task_armed`), so
+every one of these recovery paths is deterministic, testable code.
 """
 
 from __future__ import annotations
@@ -28,14 +55,82 @@ import os
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.faults import FaultPlan, corrupt_file
 from repro.runner.cache import MISS, ResultCache, default_salt
-from repro.runner.task import Task, run_task_timed
+from repro.runner.journal import CampaignJournal
+from repro.runner.task import Task, run_task_armed
 from repro.stats.campaign import CampaignCounters, TaskTiming
 
-__all__ = ["CampaignEngine", "run_campaign"]
+__all__ = [
+    "FAILED",
+    "CampaignEngine",
+    "CampaignTaskError",
+    "run_campaign",
+]
+
+#: How often (seconds) the pool loop wakes to check deadlines/backoffs.
+_POLL_TICK = 0.05
+
+
+class _FailedSentinel:
+    """Payload slot for a task that exhausted its retries (keep_going)."""
+
+    def __repr__(self) -> str:
+        return "<FAILED>"
+
+
+#: Sentinel payload returned for exhausted tasks under ``keep_going``.
+FAILED = _FailedSentinel()
+
+
+class CampaignTaskError(RuntimeError):
+    """A task failed more than ``retries`` times; carries the evidence.
+
+    Attributes:
+        label: Human-readable task label (``simulate:SPMV/gc``).
+        key: The task's cache key.
+        history: One record per failed attempt:
+            ``{"attempt": n, "kind": ..., "error": ..., "seconds": ...}``.
+    """
+
+    def __init__(self, label: str, key: str, history: List[Dict[str, Any]]) -> None:
+        self.label = label
+        self.key = key
+        self.history = list(history)
+        detail = "; ".join(
+            f"attempt {h['attempt']}: [{h['kind']}] {h['error']}" for h in history
+        )
+        super().__init__(
+            f"campaign task {label!r} (key {key[:12]}…) failed after "
+            f"{len(history)} attempt(s): {detail}"
+        )
+
+
+class _PoolReset(Exception):
+    """Internal: unwind the pool loop to kill and rebuild the pool."""
+
+
+class _TaskState:
+    """Mutable per-unique-task execution state within one ``run`` batch."""
+
+    __slots__ = ("task", "key", "history", "not_before", "done")
+
+    def __init__(self, task: Task, key: str) -> None:
+        self.task = task
+        self.key = key
+        #: One record per failed attempt; ``len`` is also the next
+        #: attempt index (and thus the fault-injection draw index).
+        self.history: List[Dict[str, Any]] = []
+        self.not_before = 0.0  # monotonic instant the next attempt may start
+        self.done = False
+
+    @property
+    def attempt(self) -> int:
+        return len(self.history)
 
 
 def _payload_metrics(payload: Any) -> Optional[Dict[str, Any]]:
@@ -66,6 +161,31 @@ class CampaignEngine:
             and writes (the ``--no-cache`` path).
         salt: Code-version salt folded into every key; defaults to
             :func:`repro.runner.cache.default_salt`.
+        retries: Failures tolerated per task before it is declared
+            failed (``0`` = one attempt, no retry — the old behavior).
+        task_timeout: Per-attempt wall-clock budget in seconds.
+            Enforced preemptively in pool mode (the hung worker's pool
+            is killed and rebuilt); serial in-process attempts cannot be
+            preempted, so the timeout only applies under ``jobs >= 2``.
+        backoff_base: First retry delay; doubles per failure of that
+            task (``base * 2**(failures-1)``), capped at
+            ``backoff_cap``.  Deterministic — no jitter.
+        backoff_cap: Upper bound on any single backoff delay.
+        keep_going: Record exhausted tasks (payload = :data:`FAILED`)
+            and finish the campaign instead of raising on first failure.
+        journal: Campaign journal path (or a
+            :class:`~repro.runner.journal.CampaignJournal`); every
+            completed task key is appended and fsync'd immediately.
+        resume: Serve tasks recorded in the journal from the cache and
+            execute only the remainder.  Requires ``journal``; tasks
+            journaled but missing (or quarantined) from the cache are
+            transparently recomputed.
+        faults: Optional :class:`repro.faults.FaultPlan` — deterministic
+            fault injection for chaos testing.  ``None`` (production)
+            costs one attribute check per task.
+        manifest_path: When set, an interrupt (Ctrl-C) writes a partial
+            manifest here, marked ``"interrupted": true``, before the
+            ``KeyboardInterrupt`` propagates.
     """
 
     def __init__(
@@ -73,13 +193,48 @@ class CampaignEngine:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         salt: Optional[str] = None,
+        *,
+        retries: int = 0,
+        task_timeout: Optional[float] = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        keep_going: bool = False,
+        journal: Optional[Union[str, os.PathLike, CampaignJournal]] = None,
+        resume: bool = False,
+        faults: Optional[FaultPlan] = None,
+        manifest_path: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if resume and journal is None:
+            raise ValueError("resume=True requires a journal")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = cache
         self.salt = salt if salt is not None else default_salt()
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.keep_going = keep_going
+        if journal is not None and not isinstance(journal, CampaignJournal):
+            journal = CampaignJournal(journal)
+        self.journal = journal
+        self.resume = resume
+        self.faults = faults
+        self.manifest_path = Path(manifest_path) if manifest_path is not None else None
         self.counters = CampaignCounters()
+        #: Final :class:`CampaignTaskError` per exhausted task (keep_going).
+        self.failures: List[CampaignTaskError] = []
+        self.interrupted = False
+        self._journaled_keys: Dict[str, Dict[str, Any]] = {}
+        self._completions = 0  # executed completions (interrupt_after hook)
+        if self.resume:
+            self._journaled_keys = self.journal.load()
+            self.journal.seen(self._journaled_keys)
 
     # ------------------------------------------------------------------
     # Execution
@@ -88,8 +243,17 @@ class CampaignEngine:
         """Execute a batch; returns payloads in submission order.
 
         Duplicate tasks (same cache key) within a batch execute once and
-        share the payload.
+        share the payload.  Exhausted tasks raise
+        :class:`CampaignTaskError` — or, under ``keep_going``, yield the
+        :data:`FAILED` sentinel in their payload slots.
         """
+        try:
+            return self._run(tasks)
+        except KeyboardInterrupt:
+            self._on_interrupt()
+            raise
+
+    def _run(self, tasks: Sequence[Task]) -> List[Any]:
         t0 = time.perf_counter()
         keys = [task.key(self.salt) for task in tasks]
         self.counters.tasks += len(tasks)
@@ -100,55 +264,314 @@ class CampaignEngine:
         for task, key in zip(tasks, keys):
             if key in payloads or key in pending_keys:
                 continue
+            resumed = self.resume and key in self._journaled_keys
             hit = self.cache.get(key) if self.cache is not None else MISS
             if hit is not MISS:
                 payloads[key] = hit
-                self.counters.record(
+                if resumed:
+                    self.counters.resumed += 1
+                self._record_done(
                     TaskTiming(label=task.label, key=key, cached=True,
                                seconds=0.0, metrics=_payload_metrics(hit))
                 )
             else:
+                # A journaled key that misses the cache (entry evicted or
+                # quarantined) falls through to recomputation.
                 pending.append(task)
                 pending_keys.append(key)
 
         if pending:
             if self.jobs == 1 or len(pending) == 1:
-                for task, key in zip(pending, pending_keys):
-                    payload, seconds = run_task_timed(task)
-                    self._complete(key, task, payload, seconds, payloads)
+                self._run_serial(pending, pending_keys, payloads)
             else:
                 self._run_pool(pending, pending_keys, payloads)
 
         self.counters.elapsed_seconds += time.perf_counter() - t0
         return [payloads[key] for key in keys]
 
+    # -- serial path ----------------------------------------------------
+    def _run_serial(
+        self, pending: List[Task], pending_keys: List[str], payloads: Dict[str, Any]
+    ) -> None:
+        for task, key in zip(pending, pending_keys):
+            state = _TaskState(task, key)
+            while not state.done:
+                delay = state.not_before - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    payload, seconds = run_task_armed(
+                        task, key, state.attempt, self.faults
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    self._charge(state, _classify(exc), _describe(exc), payloads)
+                else:
+                    self._complete(state, payload, seconds, payloads)
+
+    # -- pool path ------------------------------------------------------
     def _run_pool(
         self, pending: List[Task], pending_keys: List[str], payloads: Dict[str, Any]
     ) -> None:
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(run_task_timed, task): (key, task)
-                for task, key in zip(pending, pending_keys)
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key, task = futures[future]
+        states = {
+            key: _TaskState(task, key) for task, key in zip(pending, pending_keys)
+        }
+        while True:
+            incomplete = [s for s in states.values() if not s.done]
+            if not incomplete:
+                return
+            workers = min(self.jobs, len(incomplete))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            try:
+                self._pool_round(pool, states, payloads)
+                pool.shutdown()
+                return
+            except _PoolReset:
+                self._kill_pool(pool)
+                self.counters.pool_rebuilds += 1
+            except BaseException:
+                self._kill_pool(pool)
+                raise
+
+    def _pool_round(
+        self,
+        pool: ProcessPoolExecutor,
+        states: Dict[str, _TaskState],
+        payloads: Dict[str, Any],
+    ) -> None:
+        """Drive one pool until the batch completes or the pool must die.
+
+        Raises :class:`_PoolReset` after charging the affected tasks
+        when a worker crashes (``BrokenProcessPool``) or a task overruns
+        ``task_timeout`` — the caller kills this pool and builds a fresh
+        one for whatever remains.
+        """
+        inflight: Dict[Any, str] = {}  # future -> key
+        started: Dict[Any, float] = {}  # future -> first-seen-running instant
+        try:
+            self._pool_loop(pool, states, payloads, inflight, started)
+        except _PoolResetTimeout as reset:
+            # The overdue task gets the timeout on its record; everything
+            # else in flight is charged a preemption (the pool must die,
+            # and blame cannot be split more finely than that).
+            self._charge(
+                states[reset.key], "timeout",
+                f"exceeded task_timeout={self.task_timeout}s", payloads,
+            )
+            for key in set(inflight.values()):
+                state = states[key]
+                if key != reset.key and not state.done:
+                    self._charge(
+                        state, "preempted",
+                        "pool killed while reclaiming a hung worker", payloads,
+                    )
+            raise _PoolReset()
+        except BrokenProcessPool:
+            # A worker died (real crash or injected os._exit).  The pool
+            # is unusable and the crash cannot be attributed to one
+            # future, so every in-flight task is charged one failure.
+            for key in set(inflight.values()):
+                if not states[key].done:
+                    self._charge(
+                        states[key], "worker-crash",
+                        "worker process died while task was in flight", payloads,
+                    )
+            raise _PoolReset()
+
+    def _pool_loop(
+        self,
+        pool: ProcessPoolExecutor,
+        states: Dict[str, _TaskState],
+        payloads: Dict[str, Any],
+        inflight: Dict[Any, str],
+        started: Dict[Any, float],
+    ) -> None:
+        while True:
+            now = time.monotonic()
+            busy = set(inflight.values())
+            ready = [
+                s for s in states.values()
+                if not s.done and s.key not in busy and s.not_before <= now
+            ]
+            for state in ready:
+                future = pool.submit(
+                    run_task_armed, state.task, state.key, state.attempt,
+                    self.faults,
+                )
+                inflight[future] = state.key
+            if not inflight:
+                waiting = [s.not_before for s in states.values() if not s.done]
+                if not waiting:
+                    return  # batch complete
+                time.sleep(max(0.0, min(waiting) - time.monotonic()))
+                continue
+
+            # Poll when a deadline or backoff needs watching; block
+            # indefinitely otherwise (the common fault-free case).
+            poll = (
+                _POLL_TICK
+                if self.task_timeout is not None
+                or any(s.not_before > now for s in states.values() if not s.done)
+                else None
+            )
+            done_set, _ = wait(
+                set(inflight), timeout=poll, return_when=FIRST_COMPLETED
+            )
+            self._check_deadlines(inflight, started, done_set)
+            for future in done_set:
+                key = inflight.pop(future)
+                started.pop(future, None)
+                state = states[key]
+                try:
                     payload, seconds = future.result()
-                    self._complete(key, task, payload, seconds, payloads)
+                except KeyboardInterrupt:
+                    raise
+                except BrokenProcessPool:
+                    inflight[future] = key  # restore: charged by the caller
+                    raise
+                except Exception as exc:
+                    self._charge(state, _classify(exc), _describe(exc), payloads)
+                else:
+                    self._complete(state, payload, seconds, payloads)
+
+    def _check_deadlines(
+        self,
+        inflight: Dict[Any, str],
+        started: Dict[Any, float],
+        done_set,
+    ) -> None:
+        """Stamp run starts and enforce ``task_timeout`` on live futures."""
+        if self.task_timeout is None:
+            return
+        now = time.monotonic()
+        overdue = None
+        for future, key in inflight.items():
+            if future in done_set:
+                continue
+            if future not in started:
+                if future.running():
+                    started[future] = now
+            elif now - started[future] > self.task_timeout:
+                overdue = (future, key)
+                break
+        if overdue is None:
+            return
+        # Kill the whole pool: a hung worker cannot be cancelled through
+        # the executor API.  The overdue task is charged a timeout; other
+        # in-flight tasks are charged a preemption (attribution is
+        # impossible once the pool dies — bounded either way).
+        future, key = overdue
+        self.counters.timeouts += 1
+        raise _PoolResetTimeout(future, key)
+
+    # -- bookkeeping ----------------------------------------------------
+    def _charge(
+        self,
+        state: _TaskState,
+        kind: str,
+        error: str,
+        payloads: Dict[str, Any],
+    ) -> None:
+        """Record one failure; schedule a retry or finalize the task."""
+        state.history.append(
+            {"attempt": state.attempt, "kind": kind, "error": error}
+        )
+        if len(state.history) > self.retries:
+            err = CampaignTaskError(state.task.label, state.key, state.history)
+            state.done = True
+            self.counters.failed += 1
+            if not self.keep_going:
+                raise err
+            self.failures.append(err)
+            payloads[state.key] = FAILED
+            self._record_done(
+                TaskTiming(label=state.task.label, key=state.key, cached=False,
+                           seconds=0.0, metrics=None,
+                           attempts=len(state.history), failed=True)
+            )
+            return
+        self.counters.retries += 1
+        backoff = min(
+            self.backoff_cap,
+            self.backoff_base * (2 ** (len(state.history) - 1)),
+        )
+        state.not_before = time.monotonic() + backoff
 
     def _complete(
-        self, key: str, task: Task, payload: Any, seconds: float, payloads: Dict[str, Any]
+        self,
+        state: _TaskState,
+        payload: Any,
+        seconds: float,
+        payloads: Dict[str, Any],
     ) -> None:
-        payloads[key] = payload
+        state.done = True
+        payloads[state.key] = payload
         if self.cache is not None:
-            self.cache.put(key, payload)
-        self.counters.record(
-            TaskTiming(label=task.label, key=key, cached=False,
-                       seconds=seconds, metrics=_payload_metrics(payload))
+            self.cache.put(state.key, payload)
+            if (
+                self.faults is not None
+                and self.cache.enabled
+                and self.faults.decide_corrupt(state.key)
+            ):
+                corrupt_file(self.cache.path_for(state.key), self.faults.seed)
+        self._record_done(
+            TaskTiming(label=state.task.label, key=state.key, cached=False,
+                       seconds=seconds, metrics=_payload_metrics(payload),
+                       attempts=state.attempt + 1)
         )
+        self._completions += 1
+        if (
+            self.faults is not None
+            and self.faults.interrupt_after is not None
+            and self._completions >= self.faults.interrupt_after
+        ):
+            raise KeyboardInterrupt(
+                f"injected interrupt after {self._completions} completions"
+            )
+
+    def _record_done(self, timing: TaskTiming) -> None:
+        self.counters.record(timing)
+        if self.journal is not None and not timing.failed:
+            self.journal.append(
+                {
+                    "key": timing.key,
+                    "label": timing.label,
+                    "cached": timing.cached,
+                    "seconds": round(timing.seconds, 6),
+                    "attempts": timing.attempts,
+                }
+            )
+
+    def _on_interrupt(self) -> None:
+        """Ctrl-C landing spot: persist progress before propagating."""
+        self.interrupted = True
+        if self.journal is not None:
+            self.journal.close()  # every record is already on disk
+        if self.manifest_path is not None:
+            try:
+                self.write_manifest(self.manifest_path)
+            except OSError:
+                pass  # dying anyway; the journal is the source of truth
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even when workers are hung or dead.
+
+        ``shutdown()`` alone would join hung workers forever, so worker
+        processes are terminated first (via the executor's process map —
+        private but stable across CPython 3.8-3.13).
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass
 
     def run_one(self, task: Task) -> Any:
         """Convenience wrapper: execute a single task through the cache."""
@@ -169,14 +592,30 @@ class CampaignEngine:
             "salt": self.salt,
             "jobs": self.jobs,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "interrupted": self.interrupted,
             "cache": cache_info,
             "counters": self.counters.snapshot(),
+            "resilience": {
+                "retries_budget": self.retries,
+                "task_timeout": self.task_timeout,
+                "keep_going": self.keep_going,
+                "resume": self.resume,
+                "journal": str(self.journal.path) if self.journal else None,
+                "faults_armed": self.faults is not None,
+                "failed_tasks": [
+                    {"label": f.label, "key": f.key, "history": f.history}
+                    for f in self.failures
+                ],
+            },
+            "metrics": self.metrics_snapshot(),
             "tasks": [
                 {
                     "label": t.label,
                     "key": t.key,
                     "cached": t.cached,
                     "seconds": round(t.seconds, 6),
+                    "attempts": t.attempts,
+                    "failed": t.failed,
                     # Per-task metrics snapshot (repro.obs.metrics); None
                     # for payloads that carry none.
                     "metrics": t.metrics,
@@ -184,6 +623,36 @@ class CampaignEngine:
                 for t in self.counters.timings
             ],
         }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Campaign counters as a ``repro.obs`` metrics snapshot.
+
+        Same flat-namespace shape as the per-run simulation metrics
+        (``campaign.retries``, ``campaign.cache.quarantined``, …) so
+        dashboards can treat campaign health like any other component.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry(prefix="campaign.")
+        c = self.counters
+        for name, value in (
+            ("tasks", c.tasks),
+            ("unique_tasks", c.unique_tasks),
+            ("executed", c.executed),
+            ("retries", c.retries),
+            ("timeouts", c.timeouts),
+            ("pool_rebuilds", c.pool_rebuilds),
+            ("failed", c.failed),
+            ("resumed", c.resumed),
+            ("cache.hits", c.cache_hits),
+            ("cache.misses", c.cache_misses),
+        ):
+            reg.counter(name).inc(value)
+        if self.cache is not None:
+            reg.counter("cache.quarantined").inc(self.cache.quarantined)
+            reg.counter("cache.corrupt").inc(self.cache.corrupt)
+        reg.gauge("interrupted").set(int(self.interrupted))
+        return reg.snapshot()
 
     def write_manifest(self, path: Union[str, os.PathLike]) -> Path:
         """Write the manifest as JSON (atomically); returns the path."""
@@ -205,14 +674,44 @@ class CampaignEngine:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cache = "on" if self.cache is not None else "off"
-        return f"<CampaignEngine jobs={self.jobs} cache={cache}>"
+        return (
+            f"<CampaignEngine jobs={self.jobs} cache={cache} "
+            f"retries={self.retries}>"
+        )
+
+
+class _PoolResetTimeout(_PoolReset):
+    """Pool reset triggered by a task deadline (carries the culprit)."""
+
+    def __init__(self, future: Any, key: str) -> None:
+        super().__init__()
+        self.future = future
+        self.key = key
+
+
+def _classify(exc: Exception) -> str:
+    """Failure-kind tag for the attempt history (stable, greppable)."""
+    from repro import faults
+
+    if isinstance(exc, faults.TransientFault):
+        return "transient"
+    if isinstance(exc, faults.HangFault):
+        return "hang"
+    if isinstance(exc, faults.WorkerCrashFault):
+        return "worker-crash"
+    return "error"
+
+
+def _describe(exc: Exception) -> str:
+    return f"{type(exc).__name__}: {exc}"
 
 
 def run_campaign(
     tasks: Sequence[Task],
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
+    **engine_kwargs: Any,
 ) -> List[Any]:
     """One-shot helper: build an engine, run a batch, return payloads."""
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return CampaignEngine(jobs=jobs, cache=cache).run(tasks)
+    return CampaignEngine(jobs=jobs, cache=cache, **engine_kwargs).run(tasks)

@@ -1,0 +1,120 @@
+"""Append-only campaign journal: the crash-safe record of completed work.
+
+The persistent result cache already makes campaigns *incrementally*
+re-runnable, but it cannot say what a particular campaign had finished
+when it died — entries are shared across campaigns and carry no order.
+The journal closes that gap: one JSONL line per completed task, flushed
+(and fsync'd) as each task finishes, so after a crash, a kill -9 or a
+Ctrl-C the set of completed cache keys survives on disk.
+
+``CampaignEngine(journal=..., resume=True)`` reads the journal back and
+skips every journaled task whose payload the cache can still serve;
+only the genuinely unfinished remainder executes.  Lines are
+self-describing::
+
+    {"key": "ab12…", "label": "simulate:SPMV/gc", "cached": false,
+     "seconds": 1.93, "attempts": 2}
+
+A journal is plain data — safe to cat, grep, or truncate.  A torn final
+line (the write that was in flight when the process died) is skipped on
+load rather than treated as corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, Optional, Union
+
+__all__ = ["CampaignJournal"]
+
+
+class CampaignJournal:
+    """JSONL journal of completed task keys, flushed per record.
+
+    Args:
+        path: Journal file; parent directories are created on first
+            append.  The file is opened lazily in append mode, so
+            constructing a journal never touches the disk.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+        #: Keys journaled by *this* process (avoids duplicate lines when
+        #: one engine runs several batches over the same tasks).
+        self._written: set = set()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Completed records keyed by cache key; ``{}`` if no journal.
+
+        Tolerates a torn trailing line (interrupted append) and blank
+        lines; anything else unparsable is skipped too — a damaged
+        journal degrades to re-executing more tasks, never to a crash.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            key = record.get("key") if isinstance(record, dict) else None
+            if isinstance(key, str):
+                records[key] = record
+        return records
+
+    def seen(self, keys) -> None:
+        """Mark ``keys`` as already journaled (skip re-appending them).
+
+        Called by a resuming engine after :meth:`load`, so tasks served
+        straight from the cache don't duplicate their journal lines.
+        """
+        self._written.update(keys)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one completed-task record and push it to disk now.
+
+        Flush + fsync per record: a journal write is the commit point
+        for "this task never needs to run again", so it must not sit in
+        a userspace buffer when the process dies.
+        """
+        key = record.get("key")
+        if key in self._written:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        if isinstance(key, str):
+            self._written.add(key)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self._fh is not None else "closed"
+        return f"<CampaignJournal {self.path} ({state})>"

@@ -38,6 +38,7 @@ __all__ = [
     "PD_SWEEP",
     "Task",
     "run_task",
+    "run_task_armed",
     "run_task_timed",
     "sweep_optimal_pd",
     "trace_digest",
@@ -218,6 +219,27 @@ def run_task_timed(task: Task) -> Tuple[Any, float]:
     reflects worker-side compute, not queueing."""
     import time
 
+    t0 = time.perf_counter()
+    payload = run_task(task)
+    return payload, time.perf_counter() - t0
+
+
+def run_task_armed(task: Task, key: str, attempt: int, plan=None) -> Tuple[Any, float]:
+    """Worker entry point with fault injection threaded behind it.
+
+    Identical to :func:`run_task_timed` when ``plan`` is ``None`` (the
+    production path) — the injector consultation is one attribute check.
+    With a :class:`repro.faults.FaultPlan` armed, the planned fault for
+    ``(key, attempt)`` fires *before* any real work, so a faulted
+    attempt never wastes simulation time and a clean retry recomputes
+    from scratch, keeping payloads bit-identical to fault-free runs.
+    """
+    import time
+
+    if plan is not None:
+        from repro.faults import inject
+
+        inject(plan, key, attempt)
     t0 = time.perf_counter()
     payload = run_task(task)
     return payload, time.perf_counter() - t0

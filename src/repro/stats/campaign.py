@@ -29,6 +29,10 @@ class TaskTiming:
         metrics: Namespaced metrics snapshot from the task's payload
             (``RunResult.extras["metrics"]``); ``None`` when the payload
             carries none (non-simulation tasks, pre-metrics cache entries).
+        attempts: Executions this result took (1 = first try; retried
+            tasks count every charged failure plus the final success).
+        failed: The task exhausted its retry budget (``keep_going``
+            campaigns record these with a ``FAILED`` payload slot).
     """
 
     label: str
@@ -36,6 +40,8 @@ class TaskTiming:
     cached: bool
     seconds: float
     metrics: Optional[Dict[str, object]] = None
+    attempts: int = 1
+    failed: bool = False
 
 
 @dataclass
@@ -47,9 +53,17 @@ class CampaignCounters:
         unique_tasks: Distinct cache keys among them.
         cache_hits: Unique tasks served from the persistent cache.
         cache_misses: Unique tasks that had to execute.
-        executed: Tasks actually run (== ``cache_misses``).
+        executed: Tasks actually run to completion (``cache_misses``
+            minus failed tasks).
         task_seconds: Summed worker wall time of executed tasks.
         elapsed_seconds: Real elapsed time across ``run()`` batches.
+        retries: Re-executions scheduled after a charged failure.
+        timeouts: Attempts killed by the engine's ``task_timeout``.
+        pool_rebuilds: Worker pools torn down and rebuilt (crash or
+            hung-worker reclamation).
+        failed: Tasks that exhausted their retry budget.
+        resumed: Tasks served from the cache because the campaign
+            journal recorded them as completed by an earlier run.
         timings: Per-task records, in completion order.
     """
 
@@ -60,6 +74,11 @@ class CampaignCounters:
     executed: int = 0
     task_seconds: float = 0.0
     elapsed_seconds: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    failed: int = 0
+    resumed: int = 0
     timings: List[TaskTiming] = field(default_factory=list)
 
     def record(self, timing: TaskTiming) -> None:
@@ -69,8 +88,9 @@ class CampaignCounters:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
-            self.executed += 1
-            self.task_seconds += timing.seconds
+            if not timing.failed:
+                self.executed += 1
+                self.task_seconds += timing.seconds
 
     @property
     def hit_rate(self) -> float:
@@ -88,6 +108,11 @@ class CampaignCounters:
             "hit_rate": self.hit_rate,
             "task_seconds": round(self.task_seconds, 6),
             "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "failed": self.failed,
+            "resumed": self.resumed,
         }
 
     def render(self) -> str:
@@ -99,6 +124,13 @@ class CampaignCounters:
         table.row(["hit rate", f"{self.hit_rate:.1%}"])
         table.row(["worker compute", f"{self.task_seconds:.1f}s"])
         table.row(["elapsed", f"{self.elapsed_seconds:.1f}s"])
+        if self.resumed:
+            table.row(["resumed from journal", str(self.resumed)])
+        if self.retries or self.timeouts or self.pool_rebuilds or self.failed:
+            table.row(["retries", str(self.retries)])
+            table.row(["timeouts", str(self.timeouts)])
+            table.row(["pool rebuilds", str(self.pool_rebuilds)])
+            table.row(["failed tasks", str(self.failed)])
         return table.render()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -179,16 +179,35 @@ class TestCacheStore:
         key = "ef" * 32
         cache.put(key, [1, 2, 3])
         path = cache.path_for(key)
-        path.write_bytes(corruption(path.read_bytes()))
+        rotten = corruption(path.read_bytes())
+        path.write_bytes(rotten)
         assert cache.get(key) is MISS
         assert cache.corrupt == 1
-        assert not path.exists(), "corrupt entry should be unlinked"
+        # The rotten bytes are evidence: moved to quarantine/, counted,
+        # never silently unlinked.
+        assert not path.exists(), "corrupt entry should leave its slot"
+        assert cache.quarantined == 1
+        assert cache.quarantine_path_for(key).read_bytes() == rotten
         # The slot is reusable afterwards.
         cache.put(key, [4])
         assert cache.get(key) == [4]
 
+    def test_quarantine_is_outside_the_entry_namespace(self, tmp_path):
+        """Quarantined files never shadow live entries: len() and
+        invalidate() ignore them."""
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, [1])
+        cache.path_for(key).write_bytes(b"rot")
+        assert cache.get(key) is MISS
+        assert len(cache) == 0
+        assert cache.invalidate() == 0
+        assert cache.quarantine_path_for(key).exists()
+        assert cache.counter_snapshot()["quarantined"] == 1
+
     def test_corrupt_entry_reexecutes(self, tmp_path):
-        """End-to-end: a damaged file means the engine recomputes."""
+        """End-to-end: a damaged file means the engine quarantines the
+        entry and recomputes — never crashes, never serves rot."""
         task = Task(kind="replay", benchmark="SD1", design="bs", scale=0.05,
                     include_l2=False)
         engine = CampaignEngine(jobs=1, cache=ResultCache(tmp_path))
@@ -199,6 +218,12 @@ class TestCacheStore:
         second = engine.run_one(task)
         assert second.l1.snapshot() == first.l1.snapshot()
         assert engine.counters.cache_misses == 2  # recomputed, not crashed
+        assert engine.cache.quarantined == 1
+        assert engine.cache.quarantine_path_for(key).read_bytes() == b"not a cache entry"
+        assert engine.metrics_snapshot()["campaign.cache.quarantined"] == 1
+        # The recompute rewrote a clean entry in the original slot.
+        third = CampaignEngine(jobs=1, cache=ResultCache(tmp_path)).run_one(task)
+        assert third.l1.snapshot() == first.l1.snapshot()
 
     def test_atomic_write_leaves_no_temp_files(self, tmp_path):
         cache = ResultCache(tmp_path)
