@@ -30,6 +30,10 @@ Usage::
     # Gate B (advisory): head vs committed BENCH_4.json via calibration
     # (use a looser threshold on shared/throttled hosts)
     python benchmarks/perf_suite.py --check --threshold 1.5
+
+    # Functional-fidelity gate: the vectorized replay backend must beat
+    # the timing engine by >= 5x on the design-sweep workload
+    python benchmarks/perf_suite.py --functional-gate
 """
 
 from __future__ import annotations
@@ -50,6 +54,12 @@ DEFAULT_BASELINE = os.path.join(HERE, "BENCH_4.json")
 BENCHMARKS = ["SPMV", "BFS"]
 #: Baseline cache (LRU, no management) and the paper's G-Cache.
 DESIGNS = ["bs", "gc"]
+
+#: Functional-gate workload: a design sweep (the backend's intended use —
+#: streams/arrays are design-independent, so one stream build amortizes
+#: over the whole sweep) across three management-model families.
+FUNCTIONAL_BENCHMARKS = ["SPMV", "BFS", "KMN"]
+FUNCTIONAL_DESIGNS = ["bs", "gc", "dbp"]
 
 # The in-subprocess workload.  Calibration is a fixed pure-Python
 # integer/list loop: it scales with interpreter speed the same way the
@@ -105,6 +115,165 @@ print(json.dumps({{
     "peak_rss_kb": rss,
 }}))
 """
+
+
+# Functional-vs-timing sweep workload.  Both sides run the same design
+# sweep over the same trace in one subprocess, interleaved round by round
+# (timing, then functional), so slow host drift hits both sides equally
+# and the speedup ratio stays stable on noisy runners.  The functional
+# side pays its real costs: stream + array construction is timed inside
+# every functional round.
+_FUNCTIONAL_WORKLOAD = r"""
+import json, resource, sys, time
+
+def _calibrate():
+    best = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc, xs = 0, list(range(256))
+        for i in range(200000):
+            acc += xs[i & 255]
+            if acc & 1:
+                acc ^= i
+        dt = time.perf_counter() - t0
+        best = dt if best is None or dt < best else best
+    return best
+
+calib = _calibrate()
+
+from repro.sim.config import GPUConfig
+from repro.sim.designs import make_design
+from repro.sim.functional import build_core_arrays, functional_replay
+from repro.sim.replay import build_core_streams
+from repro.sim.simulator import simulate
+from repro.trace.suite import build_benchmark
+
+benchmark, designs, scale, repeats, seed = (
+    {benchmark!r}, {designs!r}, {scale!r}, {repeats!r}, {seed!r}
+)
+config = GPUConfig()
+trace = build_benchmark(benchmark, scale=scale, seed=seed)
+specs = [make_design(d) for d in designs]
+
+def timing_sweep():
+    return [simulate(trace, config, s) for s in specs]
+
+def functional_sweep():
+    streams = build_core_streams(trace, config)
+    arrays = build_core_arrays(streams, config)
+    return [
+        functional_replay(trace, config, s, streams=streams, arrays=arrays)
+        for s in specs
+    ]
+
+timing_sweep()      # warmup: imports, allocator, caches
+functional_sweep()
+best_timing = best_functional = None
+for _ in range(repeats):
+    t0 = time.perf_counter()
+    timing_sweep()
+    dt = time.perf_counter() - t0
+    best_timing = dt if best_timing is None or dt < best_timing else best_timing
+    t0 = time.perf_counter()
+    functional_sweep()
+    dt = time.perf_counter() - t0
+    if best_functional is None or dt < best_functional:
+        best_functional = dt
+
+rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform == "darwin":
+    rss //= 1024
+print(json.dumps({{
+    "timing_seconds": best_timing,
+    "functional_seconds": best_functional,
+    "calib_seconds": calib,
+    "peak_rss_kb": rss,
+}}))
+"""
+
+
+def time_functional_sweep(
+    src: str,
+    benchmark: str,
+    designs: Optional[List[str]] = None,
+    scale: float = 0.1,
+    repeats: int = 3,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time the design sweep under both fidelities in one subprocess."""
+    designs = designs or FUNCTIONAL_DESIGNS
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    code = _FUNCTIONAL_WORKLOAD.format(
+        benchmark=benchmark, designs=designs, scale=scale,
+        repeats=repeats, seed=seed,
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, check=True,
+        capture_output=True, text=True,
+    ).stdout
+    raw = json.loads(out.splitlines()[-1])
+    timing = float(raw["timing_seconds"])
+    functional = float(raw["functional_seconds"])
+    calib = float(raw["calib_seconds"])
+    return {
+        "benchmark": benchmark,
+        "design": "functional",
+        "mode": "functional",
+        "sweep_designs": list(designs),
+        "scale": scale,
+        "repeats": repeats,
+        "seed": seed,
+        "timing_seconds": round(timing, 6),
+        "functional_seconds": round(functional, 6),
+        "speedup": round(timing / functional, 4),
+        "peak_rss_kb": raw["peak_rss_kb"],
+        "calib_seconds": round(calib, 6),
+        "normalized_cost": round(functional / calib, 4),
+    }
+
+
+def functional_gate(
+    src: str,
+    threshold: float,
+    benchmarks: Optional[List[str]] = None,
+    scale: float = 0.1,
+    repeats: int = 3,
+    seed: int = 0,
+) -> int:
+    """Fail (return 1) unless the functional backend beats the timing
+    engine by at least ``threshold``x across the sweep suite.
+
+    Gated on the suite total (sum of per-benchmark best times): one
+    kernel's subprocess landing on a noisy core shifts its own ratio by
+    ~15%, but the total — three subprocesses, interleaved fidelities
+    inside each — stays put.  Per-benchmark ratios print as advisory.
+    """
+    print(f"-- functional gate (design sweep: {', '.join(FUNCTIONAL_DESIGNS)}) --")
+    total_timing = total_functional = 0.0
+    for benchmark in benchmarks or FUNCTIONAL_BENCHMARKS:
+        rec = time_functional_sweep(src, benchmark, None, scale, repeats, seed)
+        total_timing += rec["timing_seconds"]
+        total_functional += rec["functional_seconds"]
+        print(
+            f"{benchmark:<6} timing {rec['timing_seconds']:.3f}s  "
+            f"functional {rec['functional_seconds']:.3f}s  "
+            f"speedup {rec['speedup']:.2f}x"
+        )
+    total = total_timing / total_functional
+    verdict = "OK" if total >= threshold else "FAIL"
+    print(
+        f"TOTAL  timing {total_timing:.3f}s  "
+        f"functional {total_functional:.3f}s  "
+        f"speedup {total:.2f}x (>= {threshold:.1f}x) {verdict}"
+    )
+    if total < threshold:
+        print(
+            f"FAIL: functional backend under {threshold:.1f}x overall",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: functional backend >= {threshold:.1f}x overall")
+    return 0
 
 
 def time_workload(
@@ -256,9 +425,20 @@ def main() -> int:
                              "(default 1, or 3 with --write-baseline)")
     parser.add_argument("--threshold", type=float, default=1.10,
                         help="max allowed head/base cost ratio")
+    parser.add_argument("--functional-gate", action="store_true",
+                        help="assert the functional backend beats the "
+                             "timing engine on the design-sweep workload")
+    parser.add_argument("--functional-threshold", type=float, default=5.0,
+                        help="min functional/timing speedup for the gate")
     args = parser.parse_args()
     if args.samples is None:
         args.samples = 3 if args.write_baseline else 1
+
+    if args.functional_gate:
+        return functional_gate(
+            args.src, args.functional_threshold, args.benchmarks,
+            args.scale, args.repeats, args.seed,
+        )
 
     head = run_suite(
         args.src, args.benchmarks, args.designs,
@@ -267,8 +447,20 @@ def main() -> int:
     _print_table(head, f"head ({os.path.abspath(args.src)})")
 
     if args.write_baseline:
+        # The committed baseline also records the functional-sweep
+        # measurements (mode="functional"): the cross-machine --check
+        # gate ignores them, but they document the expected speedup and
+        # back local "has the functional backend slowed down?" checks.
+        functional = [
+            time_functional_sweep(
+                args.src, b, None, args.scale, args.repeats, args.seed
+            )
+            for b in FUNCTIONAL_BENCHMARKS
+        ]
+        for rec in functional:
+            print(f"{_key(rec):<18} functional speedup {rec['speedup']:.2f}x")
         with open(args.baseline, "w") as fh:
-            json.dump({"records": head}, fh, indent=2, sort_keys=True)
+            json.dump({"records": head + functional}, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {args.baseline}")
 

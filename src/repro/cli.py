@@ -49,7 +49,7 @@ from repro.obs.events import EVENT_KINDS
 from repro.runner import CampaignEngine, ResultCache
 from repro.sim.config import GPUConfig
 from repro.sim.designs import DESIGN_KEYS, make_design
-from repro.sim.simulator import simulate
+from repro.sim.simulator import FIDELITIES, simulate
 from repro.stats.energy import EnergyModel
 from repro.stats.report import Table, render_metrics
 from repro.stats.timeline import Timeline
@@ -81,6 +81,14 @@ def _add_knobs(parser: argparse.ArgumentParser) -> None:
                         help="L1 capacity in bytes (Table 2: 32768)")
     parser.add_argument("--scheduler", default="lrr",
                         choices=["lrr", "gto", "two-level", "throttle"])
+
+
+def _add_fidelity(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fidelity", default="timing", choices=FIDELITIES,
+                        help="simulation fidelity: 'timing' is "
+                             "cycle-accurate; 'functional' replays the "
+                             "coalesced streams vectorized (exact cache "
+                             "counters, estimated cycles, much faster)")
 
 
 def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
@@ -211,11 +219,22 @@ def _trace_observability(path: Path, kinds=None) -> Observability:
 
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
+    if args.fidelity == "functional" and (
+        args.timeline_csv is not None or args.trace is not None
+    ):
+        print("--fidelity functional has no cycle-level event stream; "
+              "drop --timeline-csv/--trace or use --fidelity timing",
+              file=sys.stderr)
+        return 2
     trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     design = _design(args.design, trace, config)
     timeline = Timeline() if args.timeline_csv is not None else None
     obs = _trace_observability(args.trace) if args.trace is not None else None
-    result = simulate(trace, config, design, timeline=timeline, obs=obs)
+    result = simulate(trace, config, design, timeline=timeline, obs=obs,
+                      fidelity=args.fidelity)
+    if args.fidelity == "functional":
+        print("[fidelity] functional: cache counters exact, "
+              "cycles/IPC estimated")
     if obs is not None:
         obs.close()
         print(f"[trace] {args.trace}")
@@ -253,6 +272,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         engine=_engine(args),
+        fidelity=args.fidelity,
     )
     matrix = suite.run_matrix(keys)
     results = {key: matrix[(args.benchmark, key)] for key in keys}
@@ -347,6 +367,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         engine=engine,
+        fidelity=args.fidelity,
     )
     try:
         suite.run_matrix(keys)
@@ -385,6 +406,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
                             help="export an event trace (Perfetto JSON, or "
                                  "JSONL when PATH ends in .jsonl)")
+    _add_fidelity(run_parser)
 
     trace_parser = sub.add_parser(
         "trace", help="run with event tracing and export a Perfetto/JSONL trace"
@@ -412,6 +434,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmp_parser = sub.add_parser("compare", help="compare designs on one benchmark")
     _add_common(cmp_parser)
     cmp_parser.add_argument("--designs", default="bs,bs-s,gc")
+    _add_fidelity(cmp_parser)
     _add_campaign_flags(cmp_parser)
 
     camp_parser = sub.add_parser(
@@ -422,6 +445,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     camp_parser.add_argument("--benchmarks", default="",
                              help="comma-separated subset (default: all 17)")
     camp_parser.add_argument("--designs", default="bs,bs-s,spdp-b,gc")
+    _add_fidelity(camp_parser)
     _add_campaign_flags(camp_parser)
 
     args = parser.parse_args(argv)

@@ -73,6 +73,11 @@ class EvalSuite:
         engine: Share a pre-built campaign engine (and thus its cache,
             journal, fault plan and counters) across several suites /
             harnesses.
+        fidelity: Simulation fidelity for every simulate task in the
+            suite: ``"timing"`` (cycle-accurate, default) or
+            ``"functional"`` (fast vectorized replay; exact cache
+            counters, estimated cycles).  PD sweeps are unaffected (they
+            already run the timing-free replay driver).
     """
 
     def __init__(
@@ -86,11 +91,13 @@ class EvalSuite:
         retries: int = 0,
         task_timeout: Optional[float] = None,
         engine: Optional[CampaignEngine] = None,
+        fidelity: str = "timing",
     ) -> None:
         self.config = config if config is not None else GPUConfig()
         self.benchmarks = list(benchmarks) if benchmarks else list(ALL_BENCHMARKS)
         self.scale = scale
         self.seed = seed
+        self.fidelity = fidelity
         if engine is None:
             cache = ResultCache(cache_dir) if cache_dir is not None else None
             engine = CampaignEngine(
@@ -120,6 +127,7 @@ class EvalSuite:
             seed=self.seed,
             config=self.config,
             trace=self._traces.get(benchmark) if inline else None,
+            fidelity=self.fidelity,
         )
 
     def _pd_task(self, benchmark: str, inline: bool = False) -> Task:

@@ -39,13 +39,23 @@ class Coalescer:
         Order preservation matters: it determines the order transactions
         enter the L1 pipeline, which downstream contention models observe.
         """
-        if len(lane_addrs) > self.max_lanes:
+        n = len(lane_addrs)
+        if n > self.max_lanes:
             raise ValueError(
-                f"warp presented {len(lane_addrs)} lanes, max is {self.max_lanes}"
+                f"warp presented {n} lanes, max is {self.max_lanes}"
             )
+        if not n:
+            self.warp_accesses += 1
+            return []
         shift = self._shift
-        # dict.fromkeys is an order-preserving C-speed dedup.
-        lines: List[int] = list(dict.fromkeys(a >> shift for a in lane_addrs))
+        lines: List[int] = [a >> shift for a in lane_addrs]
+        if lines.count(lines[0]) == n:
+            # Fully coalesced warp (the common case in regular kernels):
+            # all lanes hit one line, no dedup structure needed.
+            lines = lines[:1]
+        else:
+            # dict.fromkeys is an order-preserving C-speed dedup.
+            lines = list(dict.fromkeys(lines))
         self.warp_accesses += 1
         self.transactions += len(lines)
         return lines

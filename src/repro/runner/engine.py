@@ -272,7 +272,8 @@ class CampaignEngine:
                     self.counters.resumed += 1
                 self._record_done(
                     TaskTiming(label=task.label, key=key, cached=True,
-                               seconds=0.0, metrics=_payload_metrics(hit))
+                               seconds=0.0, metrics=_payload_metrics(hit),
+                               fidelity=task.fidelity)
                 )
             else:
                 # A journaled key that misses the cache (entry evicted or
@@ -488,7 +489,8 @@ class CampaignEngine:
             self._record_done(
                 TaskTiming(label=state.task.label, key=state.key, cached=False,
                            seconds=0.0, metrics=None,
-                           attempts=len(state.history), failed=True)
+                           attempts=len(state.history), failed=True,
+                           fidelity=state.task.fidelity)
             )
             return
         self.counters.retries += 1
@@ -518,7 +520,8 @@ class CampaignEngine:
         self._record_done(
             TaskTiming(label=state.task.label, key=state.key, cached=False,
                        seconds=seconds, metrics=_payload_metrics(payload),
-                       attempts=state.attempt + 1)
+                       attempts=state.attempt + 1,
+                       fidelity=state.task.fidelity)
         )
         self._completions += 1
         if (
@@ -540,6 +543,7 @@ class CampaignEngine:
                     "cached": timing.cached,
                     "seconds": round(timing.seconds, 6),
                     "attempts": timing.attempts,
+                    "fidelity": timing.fidelity,
                 }
             )
 
@@ -616,6 +620,7 @@ class CampaignEngine:
                     "seconds": round(t.seconds, 6),
                     "attempts": t.attempts,
                     "failed": t.failed,
+                    "fidelity": t.fidelity,
                     # Per-task metrics snapshot (repro.obs.metrics); None
                     # for payloads that carry none.
                     "metrics": t.metrics,

@@ -29,7 +29,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from repro.sim.config import GPUConfig
 from repro.sim.designs import DesignSpec, make_design
 from repro.sim.replay import build_core_streams, replay
-from repro.sim.simulator import simulate
+from repro.sim.simulator import FIDELITIES, simulate
 from repro.trace.trace import KernelTrace
 
 from repro.runner.cache import config_fingerprint, stable_hash
@@ -112,6 +112,10 @@ class Task:
         victim_share_factor: ``S_v`` for victim-bit sharing runs.
         pd_candidates: Sweep candidates for ``pd-sweep`` tasks.
         include_l2: Model the L2 in ``replay`` tasks.
+        fidelity: ``"timing"`` (cycle-accurate, the default) or
+            ``"functional"`` (fast vectorized replay with estimated
+            cycles) for ``simulate`` tasks.  Part of the cache key, so
+            the two fidelities never alias each other's results.
         trace: Optional pre-built trace.  With ``key_by_trace=False``
             this is only an execution shortcut (the cache key still uses
             benchmark/scale/seed); with ``key_by_trace=True`` the key
@@ -134,10 +138,20 @@ class Task:
     trace: Optional[KernelTrace] = None
     key_by_trace: bool = False
     trace_key: Optional[str] = None
+    fidelity: str = "timing"
 
     def __post_init__(self) -> None:
         if self.kind not in TASK_KINDS:
             raise ValueError(f"unknown task kind {self.kind!r}; known: {TASK_KINDS}")
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; expected one of {FIDELITIES}"
+            )
+        if self.fidelity != "timing" and self.kind != "simulate":
+            raise ValueError(
+                f"fidelity={self.fidelity!r} only applies to simulate tasks, "
+                f"not {self.kind!r}"
+            )
         if self.benchmark is None and self.trace is None:
             raise ValueError("task needs a benchmark name or an explicit trace")
         if self.key_by_trace and self.trace is None and self.trace_key is None:
@@ -150,11 +164,19 @@ class Task:
     # ------------------------------------------------------------------
     @property
     def label(self) -> str:
-        """Human-readable manifest label, e.g. ``simulate:SPMV/gc``."""
+        """Human-readable manifest label, e.g. ``simulate:SPMV/gc``.
+
+        Non-default fidelities render inline
+        (``simulate[functional]:SPMV/gc``) so manifests read correctly
+        without consulting the per-task fidelity field.
+        """
         name = self.benchmark or (self.trace.name if self.trace else "?")
         if self.kind == "pd-sweep":
             return f"pd-sweep:{name}"
-        return f"{self.kind}:{name}/{self.design}"
+        kind = self.kind
+        if self.fidelity != "timing":
+            kind = f"{kind}[{self.fidelity}]"
+        return f"{kind}:{name}/{self.design}"
 
     def fingerprint(self) -> Dict[str, Any]:
         """Everything that determines this task's result, as plain data."""
@@ -177,6 +199,8 @@ class Task:
             fp["victim_share_factor"] = self.victim_share_factor
         if self.kind == "replay":
             fp["include_l2"] = self.include_l2
+        if self.kind == "simulate":
+            fp["fidelity"] = self.fidelity
         return fp
 
     def key(self, salt: str) -> str:
@@ -206,6 +230,7 @@ def run_task(task: Task) -> Any:
             task.config,
             task.build_design(),
             victim_share_factor=task.victim_share_factor,
+            fidelity=task.fidelity,
         )
     if task.kind == "replay":
         return replay(

@@ -14,6 +14,8 @@ controller operate on.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["AddressMap"]
 
 
@@ -79,6 +81,32 @@ class AddressMap:
         """Partition-local line address (dense within the partition)."""
         chunk = line_addr >> (self._chunk_shift + self._part_bits)
         return (chunk << self._chunk_shift) | (line_addr & self._offset_mask)
+
+    # ------------------------------------------------------------------
+    # Vectorized mapping (fast-functional backend)
+    # ------------------------------------------------------------------
+    def partition_array(self, line_addrs) -> np.ndarray:
+        """Vectorized :meth:`partition` over an array of line addresses.
+
+        Bit-identical to the scalar path (same XOR-fold, no memoization
+        needed — the fold is a handful of whole-array ops).
+        """
+        lines = np.asarray(line_addrs, dtype=np.int64)
+        if self._part_bits == 0:
+            return np.zeros(lines.shape, dtype=np.int64)
+        chunk = lines >> self._chunk_shift
+        h = np.zeros(lines.shape, dtype=np.int64)
+        x = chunk >> self._part_bits
+        while np.any(x != 0):
+            h ^= x & self._part_mask
+            x = x >> self._part_bits
+        return (chunk ^ h) & self._part_mask
+
+    def local_array(self, line_addrs) -> np.ndarray:
+        """Vectorized :meth:`local` over an array of line addresses."""
+        lines = np.asarray(line_addrs, dtype=np.int64)
+        chunk = lines >> (self._chunk_shift + self._part_bits)
+        return (chunk << self._chunk_shift) | (lines & self._offset_mask)
 
     def globalize(self, partition: int, local: int) -> int:
         """Inverse mapping (diagnostics and tests)."""

@@ -1,0 +1,144 @@
+"""Calibrated linear timing estimator for functional-fidelity runs.
+
+The functional backend produces exact cache counters but no cycle count.
+Speedup-style figures (IPC ratios) still need one, so this module fits a
+small linear model
+
+    cycles ~= c0 + c1*instr + c2*l1_misses + c3*l2_misses + c4*writebacks
+
+with every feature normalized per core.  The default coefficients are
+derived from the configuration's latency parameters (issue throughput of
+one instruction per core-cycle, L1 misses serviced at the L2 round-trip
+over a memory-level-parallelism factor, L2 misses adding a DRAM
+round-trip); :meth:`fit` replaces them with a least-squares fit against
+paired timing runs when calibration data is available.
+
+Estimated cycles are *estimates*: they track trends (which design is
+faster, how much a sweep moves IPC) but are not bit-comparable to the
+timing engine.  Functional-fidelity results are tagged
+``extras["fidelity"] = "functional"`` so downstream consumers can tell.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.config import GPUConfig
+
+__all__ = ["TimingEstimator"]
+
+#: Overlapping-miss factor: a GPU core hides most of a miss's latency
+#: behind other warps; only 1/MLP of the service latency is exposed.
+_MLP = 8.0
+
+#: Approximate DRAM service latency on top of an L2 hit, in core cycles
+#: (GDDR5 CL+tRCD+transfer at the paper's clocks lands near this).
+_DRAM_EXTRA = 220.0
+
+
+class TimingEstimator:
+    """Linear cycle model over per-core-normalized counters.
+
+    Args:
+        config: Configuration whose latency parameters seed the default
+            coefficients.
+        coefficients: Explicit ``(c0, c1, c2, c3, c4)`` override
+            (intercept, instructions, L1 misses, L2 misses, writebacks).
+    """
+
+    FEATURE_NAMES = ("instructions", "l1_misses", "l2_misses", "l2_writebacks")
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        coefficients: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.config = config if config is not None else GPUConfig()
+        if coefficients is None:
+            coefficients = (
+                0.0,
+                1.0,
+                float(self.config.l2_hit_latency) / _MLP,
+                _DRAM_EXTRA / _MLP,
+                _DRAM_EXTRA / (2.0 * _MLP),
+            )
+        self.coefficients = tuple(float(c) for c in coefficients)
+        self.calibrated = False
+
+    # ------------------------------------------------------------------
+    def features(
+        self, instructions: int, l1_stats, l2_stats
+    ) -> Tuple[float, float, float, float]:
+        """Per-core-normalized feature vector for one run."""
+        n = max(1, self.config.num_cores)
+        return (
+            instructions / n,
+            l1_stats.misses / n,
+            l2_stats.misses / n,
+            l2_stats.writebacks / n,
+        )
+
+    def estimate(self, instructions: int, l1_stats, l2_stats) -> int:
+        """Estimated cycle count (always >= 1 for a non-empty run)."""
+        x = self.features(instructions, l1_stats, l2_stats)
+        c = self.coefficients
+        cycles = c[0] + sum(ci * xi for ci, xi in zip(c[1:], x))
+        return max(1, int(round(cycles)))
+
+    def estimate_load_latency(self, l1_stats, l2_stats) -> float:
+        """Mean core-observed load latency under the same latency model."""
+        loads = l1_stats.loads
+        if not loads:
+            return 0.0
+        l1_misses = loads - l1_stats.load_hits
+        l2_misses = max(0, l2_stats.loads - l2_stats.load_hits)
+        cfg = self.config
+        total = (
+            l1_stats.load_hits * cfg.l1_hit_latency
+            + l1_misses * cfg.l2_hit_latency
+            + l2_misses * _DRAM_EXTRA
+        )
+        return total / loads
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        feature_rows: Sequence[Sequence[float]],
+        cycles: Sequence[float],
+    ) -> "TimingEstimator":
+        """Least-squares calibration against observed timing runs.
+
+        ``feature_rows`` holds :meth:`features` vectors; ``cycles`` the
+        matching timing-engine cycle counts.  With fewer samples than
+        coefficients the fit is the minimum-norm solution — usable, but
+        calibrate on at least a handful of diverse runs.
+        """
+        rows = np.asarray(feature_rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != len(self.FEATURE_NAMES):
+            raise ValueError(
+                f"expected Nx{len(self.FEATURE_NAMES)} feature matrix, "
+                f"got shape {rows.shape}"
+            )
+        y = np.asarray(cycles, dtype=np.float64)
+        if y.shape != (rows.shape[0],):
+            raise ValueError("cycles length must match feature rows")
+        design_matrix = np.hstack([np.ones((rows.shape[0], 1)), rows])
+        coef, *_ = np.linalg.lstsq(design_matrix, y, rcond=None)
+        self.coefficients = tuple(float(c) for c in coef)
+        self.calibrated = True
+        return self
+
+    def calibrate_on(self, samples: Sequence[Tuple[int, object, object, float]]):
+        """Convenience: fit from ``(instructions, l1, l2, cycles)`` tuples."""
+        rows: List[Tuple[float, ...]] = []
+        y: List[float] = []
+        for instructions, l1_stats, l2_stats, observed in samples:
+            rows.append(self.features(instructions, l1_stats, l2_stats))
+            y.append(float(observed))
+        return self.fit(rows, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = "calibrated" if self.calibrated else "default"
+        return f"<TimingEstimator {tag} c={self.coefficients}>"

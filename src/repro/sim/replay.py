@@ -31,24 +31,117 @@ from repro.sim.designs import DesignSpec
 from repro.stats.counters import CacheStats
 from repro.trace.trace import KernelTrace, OP_ATOM, OP_LOAD, OP_STORE
 
-__all__ = ["build_core_streams", "replay", "ReplayResult"]
+__all__ = ["build_core_streams", "replay", "ReplayResult", "SCHEDULERS"]
 
 #: One transaction: (line address, is_write).
 Transaction = Tuple[int, bool]
 
+#: Warp interleavings understood by :func:`build_core_streams`.
+SCHEDULERS = ("lrr", "gto", "two-level")
+
+#: Active-warp window for the two-level interleave (fetch group size).
+_TWO_LEVEL_WINDOW = 8
+
+
+def _emit(op: int, arg, coalescer: Coalescer, stream: List[Transaction]) -> None:
+    # ALU / SMEM / BAR / ATOM produce no L1 traffic.
+    if op == OP_LOAD:
+        for line in coalescer.coalesce(arg):
+            stream.append((line, False))
+    elif op == OP_STORE:
+        for line in coalescer.coalesce(arg):
+            stream.append((line, True))
+
+
+def _interleave_wave(warps, scheduler, coalescer, stream) -> None:
+    """Append one wave's transactions in the chosen warp interleave."""
+    coalesce = coalescer.coalesce
+    append = stream.append
+    if scheduler == "gto":
+        # Greedy-then-oldest analogue: run each warp to completion,
+        # oldest (lowest-numbered) first.
+        for warp in warps:
+            for op, arg in warp:
+                if op == OP_LOAD:
+                    for line in coalesce(arg):
+                        append((line, False))
+                elif op == OP_STORE:
+                    for line in coalesce(arg):
+                        append((line, True))
+        return
+    if scheduler == "two-level":
+        # Round-robin inside a small active window; a finished warp's
+        # slot is backfilled by the next pending warp in arrival order.
+        active = list(range(min(_TWO_LEVEL_WINDOW, len(warps))))
+        next_warp = len(active)
+        pcs = [0] * len(warps)
+        while active:
+            i = 0
+            while i < len(active):
+                w = active[i]
+                warp = warps[w]
+                pc = pcs[w]
+                if pc < len(warp):
+                    op, arg = warp[pc]
+                    pcs[w] = pc + 1
+                    _emit(op, arg, coalescer, stream)
+                if pcs[w] >= len(warp):
+                    if next_warp < len(warps):
+                        active[i] = next_warp
+                        next_warp += 1
+                        i += 1
+                    else:
+                        active.pop(i)
+                else:
+                    i += 1
+        return
+    # "lrr": round-robin one instruction per live warp per pass.  Track
+    # the live warps in an order-preserving list so finished warps drop
+    # out of the rotation instead of being re-scanned every pass.
+    pcs = [0] * len(warps)
+    order = [i for i, w in enumerate(warps) if w]
+    while order:
+        nxt = []
+        for i in order:
+            warp = warps[i]
+            pc = pcs[i]
+            op, arg = warp[pc]
+            pc += 1
+            pcs[i] = pc
+            if pc < len(warp):
+                nxt.append(i)
+            if op == OP_LOAD:
+                for line in coalesce(arg):
+                    append((line, False))
+            elif op == OP_STORE:
+                for line in coalesce(arg):
+                    append((line, True))
+        order = nxt
+
 
 def build_core_streams(
-    trace: KernelTrace, config: Optional[GPUConfig] = None
+    trace: KernelTrace,
+    config: Optional[GPUConfig] = None,
+    scheduler: str = "lrr",
 ) -> List[List[Transaction]]:
     """Flatten a kernel into one coalesced transaction stream per core.
 
     CTAs are placed round-robin; each core executes its CTAs in waves of
-    ``max_ctas_per_core``, interleaving the wave's warps round-robin —
-    the no-timing analogue of LRR scheduling.  Atomics are excluded: they
-    bypass the L1 entirely.
+    ``max_ctas_per_core``, interleaving the wave's warps according to
+    ``scheduler`` — the no-timing analogue of the warp scheduler.  Atomics
+    are excluded: they bypass the L1 entirely.
+
+    Schedulers: ``"lrr"`` (loose round-robin, one instruction per warp
+    per pass — the historical default), ``"gto"`` (greedy-then-oldest:
+    each warp runs to completion in order) and ``"two-level"``
+    (round-robin within an 8-warp active window).
     """
     if config is None:
         config = GPUConfig()
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
     coalescer = Coalescer(config.line_size, config.simt_width)
 
     # Round-robin CTA placement.
@@ -61,25 +154,9 @@ def build_core_streams(
         stream: List[Transaction] = []
         for wave_start in range(0, len(ctas), config.max_ctas_per_core):
             wave = ctas[wave_start : wave_start + config.max_ctas_per_core]
-            warps = [list(w) for cta in wave for w in cta.warps]
-            pcs = [0] * len(warps)
-            live = sum(1 for w in warps if w)
-            while live:
-                for i, warp in enumerate(warps):
-                    pc = pcs[i]
-                    if pc >= len(warp):
-                        continue
-                    op, arg = warp[pc]
-                    pcs[i] += 1
-                    if pcs[i] >= len(warp):
-                        live -= 1
-                    if op == OP_LOAD:
-                        for line in coalescer.coalesce(arg):
-                            stream.append((line, False))
-                    elif op == OP_STORE:
-                        for line in coalescer.coalesce(arg):
-                            stream.append((line, True))
-                    # ALU / SMEM / BAR / ATOM produce no L1 traffic.
+            # Warps are read-only here; no defensive copies.
+            warps = [w for cta in wave for w in cta.warps]
+            _interleave_wave(warps, scheduler, coalescer, stream)
         streams.append(stream)
     return streams
 
@@ -119,6 +196,7 @@ def replay(
     streams: Optional[List[List[Transaction]]] = None,
     oracle: bool = False,
     include_l2: bool = True,
+    scheduler: str = "lrr",
 ) -> ReplayResult:
     """Replay a kernel through the cache hierarchy without timing.
 
@@ -129,11 +207,13 @@ def replay(
         streams: Pre-built per-core streams (reuse across designs).
         oracle: Replace the L1 replacement policy with Belady OPT.
         include_l2: Model the shared L2 (needed for G-Cache hints).
+        scheduler: Warp interleave used when building streams (ignored
+            when ``streams`` is given).
     """
     if config is None:
         config = GPUConfig()
     if streams is None:
-        streams = build_core_streams(trace, config)
+        streams = build_core_streams(trace, config, scheduler=scheduler)
 
     if oracle:
         l1_policies = [BeladyPolicy() for _ in range(config.num_cores)]

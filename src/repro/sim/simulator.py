@@ -31,7 +31,12 @@ from repro.sim.memory_system import MemorySystem
 from repro.stats.counters import CacheStats
 from repro.trace.trace import KernelTrace
 
-__all__ = ["RunResult", "simulate", "simulate_sequence", "GPU"]
+__all__ = ["RunResult", "simulate", "simulate_sequence", "GPU", "FIDELITIES"]
+
+#: Supported simulation fidelities: the cycle-accurate timing engine and
+#: the vectorized fast-functional replay backend (exact cache counters,
+#: estimated cycles).
+FIDELITIES = ("timing", "functional")
 
 
 @dataclass
@@ -322,6 +327,66 @@ class GPU:
         )
 
 
+def _check_functional_args(timeline, obs) -> None:
+    if timeline is not None or obs is not None:
+        raise ValueError(
+            "fidelity='functional' replays cache traffic without a clock: "
+            "timeline sampling and observability tracing need the timing "
+            "engine"
+        )
+
+
+def _functional_stream_scheduler(config: GPUConfig) -> str:
+    """Map the config's warp scheduler onto a stream interleave."""
+    from repro.sim.replay import SCHEDULERS
+
+    return (
+        config.warp_scheduler
+        if config.warp_scheduler in SCHEDULERS
+        else "lrr"
+    )
+
+
+def _run_functional(
+    traces,
+    config: GPUConfig,
+    design: DesignSpec,
+    victim_share_factor: int,
+) -> RunResult:
+    """Drive the fast-functional backend and dress its counters as a
+    :class:`RunResult` (cycles/latency from the calibrated estimator)."""
+    from repro.sim.functional import FunctionalEngine, TimingEstimator
+
+    engine = FunctionalEngine(
+        config,
+        design,
+        victim_share_factor=victim_share_factor,
+        scheduler=_functional_stream_scheduler(config),
+    )
+    for trace in traces:
+        engine.run(trace)
+    rep = engine.result(benchmark="+".join(t.name for t in traces))
+    estimator = TimingEstimator(config)
+    cycles = estimator.estimate(engine.instructions, rep.l1, rep.l2)
+    extras: Dict[str, object] = {
+        "fidelity": "functional",
+        "estimated_cycles": True,
+    }
+    extras.update(rep.extras)
+    return RunResult(
+        benchmark=rep.benchmark,
+        design=design.key,
+        cycles=cycles,
+        instructions=engine.instructions,
+        l1=rep.l1,
+        l2=rep.l2,
+        avg_load_latency=estimator.estimate_load_latency(rep.l1, rep.l2),
+        dram_requests=rep.l2.fills + rep.l2.writebacks,
+        dram_row_hit_rate=0.0,
+        extras=extras,
+    )
+
+
 def simulate_sequence(
     traces,
     config: Optional[GPUConfig] = None,
@@ -329,6 +394,7 @@ def simulate_sequence(
     victim_share_factor: int = 1,
     timeline=None,
     obs: Optional[Observability] = None,
+    fidelity: str = "timing",
 ) -> RunResult:
     """Run several kernels back-to-back on one warm GPU.
 
@@ -357,6 +423,13 @@ def simulate_sequence(
         config = GPUConfig()
     if design is None:
         design = make_design("bs")
+    if fidelity not in FIDELITIES:
+        raise ValueError(
+            f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+        )
+    if fidelity == "functional":
+        _check_functional_args(timeline, obs)
+        return _run_functional(traces, config, design, victim_share_factor)
     gpu = GPU(config, design, victim_share_factor, timeline=timeline, obs=obs)
     start = 0
     result: Optional[RunResult] = None
@@ -391,6 +464,7 @@ def simulate(
     victim_share_factor: int = 1,
     timeline=None,
     obs: Optional[Observability] = None,
+    fidelity: str = "timing",
 ) -> RunResult:
     """Run one kernel on one GPU design and return its statistics.
 
@@ -403,9 +477,22 @@ def simulate(
             sample during the run.
         obs: Optional :class:`~repro.obs.Observability` for event tracing
             and metrics collection.
+        fidelity: ``"timing"`` (default) runs the cycle-accurate engine;
+            ``"functional"`` runs the vectorized replay backend — cache
+            counters are bit-identical to :func:`repro.sim.replay.replay`
+            while ``cycles``/``avg_load_latency`` come from the linear
+            timing estimator (``extras["estimated_cycles"]`` marks them).
+            Functional runs reject ``timeline``/``obs``.
     """
     if config is None:
         config = GPUConfig()
     if design is None:
         design = make_design("bs")
+    if fidelity not in FIDELITIES:
+        raise ValueError(
+            f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+        )
+    if fidelity == "functional":
+        _check_functional_args(timeline, obs)
+        return _run_functional([trace], config, design, victim_share_factor)
     return GPU(config, design, victim_share_factor, timeline=timeline, obs=obs).run(trace)

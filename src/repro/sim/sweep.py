@@ -65,12 +65,16 @@ class Sweep:
         base_config: Starting configuration (Table 2 by default).
         jobs: Default worker-process count for :meth:`run` (1 = serial).
         cache_dir: Persistent result-cache directory (``None`` = off).
+        fidelity: ``"timing"`` (cycle-accurate) or ``"functional"``
+            (fast vectorized replay; exact cache counters, estimated
+            cycles) for every grid point.
     """
 
     trace: KernelTrace
     base_config: GPUConfig = field(default_factory=GPUConfig)
     jobs: int = 1
     cache_dir: Optional[str] = None
+    fidelity: str = "timing"
     _designs: List[str] = field(default_factory=lambda: ["bs"])
     _grid: Dict[str, Sequence] = field(default_factory=dict)
     _points: Optional[List[SweepPoint]] = None
@@ -131,6 +135,7 @@ class Sweep:
                         trace=self.trace,
                         key_by_trace=True,
                         trace_key=digest,
+                        fidelity=self.fidelity,
                     )
                 )
         cache = ResultCache(self.cache_dir) if self.cache_dir is not None else None

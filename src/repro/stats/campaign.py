@@ -33,6 +33,9 @@ class TaskTiming:
             tasks count every charged failure plus the final success).
         failed: The task exhausted its retry budget (``keep_going``
             campaigns record these with a ``FAILED`` payload slot).
+        fidelity: Simulation fidelity the task ran at (``"timing"`` or
+            ``"functional"``); recorded in the manifest so mixed-fidelity
+            campaigns stay auditable.
     """
 
     label: str
@@ -42,6 +45,7 @@ class TaskTiming:
     metrics: Optional[Dict[str, object]] = None
     attempts: int = 1
     failed: bool = False
+    fidelity: str = "timing"
 
 
 @dataclass

@@ -116,7 +116,13 @@ class KernelTrace:
         return len(self.ctas)
 
     def instruction_count(self) -> int:
-        return sum(cta.instruction_count() for cta in self.ctas)
+        # Cached: traces are immutable once built, and warm-cache
+        # sequence replays re-query this per kernel.
+        cached = self.__dict__.get("_instruction_count")
+        if cached is None:
+            cached = sum(cta.instruction_count() for cta in self.ctas)
+            self.__dict__["_instruction_count"] = cached
+        return cached
 
     def memory_access_count(self) -> int:
         """Number of LOAD/STORE/ATOM warp instructions in the kernel."""

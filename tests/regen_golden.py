@@ -9,25 +9,70 @@ The fixture parameters (scale, seed, benchmark slice, designs) live in
 ``tests/test_paper_regression.py`` — this script only re-executes that
 campaign and rewrites the file, so the test and the fixture can never
 disagree about what is being pinned.
+
+Safety interlock: before touching the fixture, the rest of the tier-1
+suite (everything except the golden-number tests themselves, which are
+expected to be stale — that is why you are regenerating) must pass.
+Pinning numbers produced by a broken tree would launder the breakage
+into the baseline.  ``--force`` skips the check for emergencies; say why
+in the commit message.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+TESTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_DIR.parent
+
+sys.path.insert(0, str(TESTS_DIR))
 
 from test_paper_regression import GOLDEN_PATH, compute_golden  # noqa: E402
 
 
-def main() -> None:
+def tier1_passes() -> bool:
+    """Run the tier-1 suite minus the golden regression tests."""
+    print("checking tier-1 (excluding the golden tests being regenerated)...")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest", "-x", "-q",
+            str(TESTS_DIR),
+            "--ignore", str(TESTS_DIR / "test_paper_regression.py"),
+        ],
+        cwd=REPO_ROOT,
+    )
+    return proc.returncode == 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--force", action="store_true",
+        help="regenerate even when tier-1 is failing (dangerous: the "
+             "fixture will pin numbers from a broken tree)",
+    )
+    args = parser.parse_args()
+
+    if args.force:
+        print("WARNING: --force given, skipping the tier-1 interlock")
+    elif not tier1_passes():
+        print(
+            "refusing to regenerate: tier-1 is failing outside the golden "
+            "tests.\nFix the suite first (or pass --force if you are sure).",
+            file=sys.stderr,
+        )
+        return 1
+
     payload = compute_golden()
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

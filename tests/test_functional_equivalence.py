@@ -1,0 +1,287 @@
+"""Differential harness: functional backend vs the scalar replay oracle.
+
+The vectorized fast-functional backend (:mod:`repro.sim.functional`)
+promises *bit-identical* cache counters to the scalar
+:func:`repro.sim.replay.replay` driver — same hits, misses, bypasses,
+insertions, evictions, writebacks, reuse histograms and victim-bit
+contention counts, for every registered design, every warp scheduler and
+every cache geometry.  This suite pins that contract:
+
+* the full design registry (plus off-registry parameterizations:
+  fast-shutdown G-Cache, small-epoch adaptive-M, small-epoch dynamic
+  PDP) over Table-1 benchmarks,
+* every warp scheduler the replay driver supports,
+* a geometry sweep (sizes, ways, line size, partition count, core count),
+* Hypothesis-generated adversarial kernels mixing phase changes,
+  streaming bursts, inter-CTA sharing and set-conflict storms.
+
+Any divergence is a silent-wrong-results bug in the fast path: the
+functional backend exists so campaigns can run at lower cost *without*
+changing what they measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies.pdp import DynamicPDPPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.core.gcache import GCacheConfig
+from repro.sim.config import GPUConfig
+from repro.sim.designs import DESIGN_KEYS, DesignSpec, make_design
+from repro.sim.functional import functional_replay
+from repro.sim.replay import SCHEDULERS, replay
+from repro.trace.suite import build_benchmark
+from repro.trace.trace import CTATrace, KernelTrace, OP_ALU, OP_LOAD, OP_STORE
+
+# ---------------------------------------------------------------------------
+# Design matrix: every registry key, plus off-registry parameterizations
+# that exercise the config-sensitive corners of each functional model.
+# ---------------------------------------------------------------------------
+
+
+def _design(key: str) -> DesignSpec:
+    if key == "spdp-b":
+        return make_design("spdp-b", pd=8)
+    if key == "gc-fast-shutdown":
+        # Frequent periodic switch shutdowns: exercises the tick engine.
+        return make_design("gc", gcache_config=GCacheConfig(shutdown_interval=64))
+    if key == "gc-m-small-epoch":
+        # Tight adaptation epoch: exercises the M-counter state machine.
+        return make_design(
+            "gc-m",
+            gcache_config=GCacheConfig(aging_epoch=32, initial_m=1, max_m=8),
+        )
+    if key == "pdp-small-epoch":
+        # Frequent PD recomputation: exercises sampler/decay/re-PD paths.
+        return DesignSpec(
+            key="pdp-small-epoch",
+            label="Dynamic PDP (3-bit, 128-access epochs)",
+            make_l1_replacement=LRUPolicy,
+            make_l1_mgmt=lambda: DynamicPDPPolicy(
+                counter_bits=3, epoch_accesses=128
+            ),
+        )
+    return make_design(key)
+
+
+ALL_DESIGNS = tuple(DESIGN_KEYS) + (
+    "gc-fast-shutdown",
+    "gc-m-small-epoch",
+    "pdp-small-epoch",
+)
+
+#: One design per functional-model family, for the expensive sweeps.
+FAMILY_DESIGNS = ("bs", "bs-s", "pdp-3", "spdp-b", "gc", "dbp")
+
+
+def assert_equivalent(trace, config, design, scheduler="lrr", include_l2=True):
+    """Replay both backends and assert every observable counter matches."""
+    oracle = replay(
+        trace, config, design, scheduler=scheduler, include_l2=include_l2
+    )
+    fast = functional_replay(
+        trace, config, design, scheduler=scheduler, include_l2=include_l2
+    )
+    assert fast.l1.snapshot() == oracle.l1.snapshot()
+    assert fast.l2.snapshot() == oracle.l2.snapshot()
+    assert fast.l1.reuse.as_dict() == oracle.l1.reuse.as_dict()
+    assert fast.l2.reuse.as_dict() == oracle.l2.reuse.as_dict()
+    assert fast.extras == oracle.extras
+    assert fast.benchmark == oracle.benchmark
+    assert fast.design == oracle.design
+
+
+# ---------------------------------------------------------------------------
+# Shared fixtures: traces are the expensive part, build each once.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GPUConfig()
+
+
+@pytest.fixture(scope="module")
+def spmv_trace():
+    return build_benchmark("SPMV", scale=0.03, seed=7)
+
+
+@pytest.fixture(scope="module")
+def bfs_trace():
+    return build_benchmark("BFS", scale=0.03, seed=11)
+
+
+@pytest.fixture(scope="module")
+def kmn_trace():
+    return build_benchmark("KMN", scale=0.05, seed=3)
+
+
+# ---------------------------------------------------------------------------
+# Full design registry x benchmarks
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key", ALL_DESIGNS)
+def test_design_matches_oracle_spmv(key, spmv_trace, config):
+    assert_equivalent(spmv_trace, config, _design(key))
+
+
+@pytest.mark.parametrize("key", ALL_DESIGNS)
+def test_design_matches_oracle_bfs(key, bfs_trace, config):
+    assert_equivalent(bfs_trace, config, _design(key))
+
+
+# ---------------------------------------------------------------------------
+# Warp schedulers (the interleave changes every stream, so scheduler bugs
+# show up as counter drift even when per-access semantics are right).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@pytest.mark.parametrize("key", ("gc", "pdp-3", "dbp"))
+def test_scheduler_matches_oracle(scheduler, key, kmn_trace, config):
+    assert_equivalent(kmn_trace, config, _design(key), scheduler=scheduler)
+
+
+# ---------------------------------------------------------------------------
+# Geometry sweep: set-count, associativity, line-size, partition and core
+# changes all reshape the address -> (set, bank) mapping.
+# ---------------------------------------------------------------------------
+
+GEOMETRIES = {
+    "small-l1": dict(l1_size=8 * 1024),
+    "high-assoc": dict(l1_ways=8),
+    "wide-lines": dict(line_size=256),
+    "narrow-lines": dict(line_size=64),
+    "few-partitions": dict(num_partitions=2, mc_interleave_lines=4),
+    "few-cores": dict(num_cores=4),
+    "small-l2": dict(l2_bank_size=64 * 1024),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GEOMETRIES))
+@pytest.mark.parametrize("key", ("gc", "pdp-3"))
+def test_geometry_matches_oracle(name, key, spmv_trace, config):
+    cfg = replace(config, **GEOMETRIES[name])
+    assert_equivalent(spmv_trace, cfg, _design(key))
+
+
+@pytest.mark.parametrize("key", ("bs", "gc", "pdp-3"))
+def test_l1_only_matches_oracle(key, spmv_trace, config):
+    """include_l2=False drops hints and the L2 model entirely."""
+    assert_equivalent(spmv_trace, config, _design(key), include_l2=False)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis adversarial kernels
+# ---------------------------------------------------------------------------
+
+#: Small geometry so short random kernels still generate real conflict
+#: pressure: 4 cores, 16-set/4-way L1, 2 L2 banks.
+ADV_CONFIG = GPUConfig(
+    num_cores=4,
+    l1_size=2 * 1024,
+    l1_ways=4,
+    line_size=32,
+    num_partitions=2,
+    l2_bank_size=8 * 1024,
+    mc_interleave_lines=2,
+)
+_LINE = ADV_CONFIG.line_size
+_NUM_SETS = ADV_CONFIG.l1_size // (ADV_CONFIG.l1_ways * _LINE)
+
+
+def _mem_op(addr_lines, write):
+    op = OP_STORE if write else OP_LOAD
+    return (op, tuple(line * _LINE for line in addr_lines))
+
+
+@st.composite
+def adversarial_kernels(draw):
+    """A small kernel mixing the paper's hard access patterns.
+
+    Each warp program is a few segments, each one of:
+
+    * ``phase``  — a small working set looped (then abandoned at the next
+      segment: a phase change),
+    * ``burst``  — a streaming run of never-reused lines,
+    * ``shared`` — reads of a kernel-wide shared line pool (inter-CTA
+      sharing; lights up the victim-bit directory),
+    * ``conflict`` — a same-set stride storm (every access maps to one
+      L1 set).
+    """
+    shared_pool = draw(
+        st.lists(
+            st.integers(0, 63), min_size=2, max_size=6, unique=True
+        )
+    )
+    burst_base = draw(st.integers(64, 512))
+    num_ctas = draw(st.integers(1, 3))
+    ctas = []
+    for _ in range(num_ctas):
+        warps = []
+        for _ in range(draw(st.integers(1, 3))):
+            prog = []
+            for _ in range(draw(st.integers(1, 4))):
+                kind = draw(
+                    st.sampled_from(("phase", "burst", "shared", "conflict"))
+                )
+                if kind == "phase":
+                    ws = draw(
+                        st.lists(
+                            st.integers(0, 127),
+                            min_size=1,
+                            max_size=6,
+                            unique=True,
+                        )
+                    )
+                    loops = draw(st.integers(1, 4))
+                    for _ in range(loops):
+                        for line in ws:
+                            prog.append(
+                                _mem_op([line], draw(st.booleans()))
+                            )
+                elif kind == "burst":
+                    start = burst_base + draw(st.integers(0, 256))
+                    length = draw(st.integers(4, 24))
+                    for i in range(length):
+                        prog.append(_mem_op([start + i], False))
+                elif kind == "shared":
+                    for _ in range(draw(st.integers(2, 8))):
+                        prog.append(
+                            _mem_op([draw(st.sampled_from(shared_pool))], False)
+                        )
+                else:  # conflict: constant set index, distinct tags
+                    set_index = draw(st.integers(0, _NUM_SETS - 1))
+                    for i in range(draw(st.integers(4, 16))):
+                        prog.append(
+                            _mem_op(
+                                [set_index + i * _NUM_SETS],
+                                draw(st.booleans()),
+                            )
+                        )
+                if draw(st.booleans()):
+                    prog.append((OP_ALU, draw(st.integers(1, 4))))
+            if not any(op in (OP_LOAD, OP_STORE) for op, _ in prog):
+                prog.append(_mem_op([0], False))
+            warps.append(prog)
+        ctas.append(CTATrace(warps=warps))
+    return KernelTrace(name="ADV", ctas=ctas)
+
+
+@pytest.mark.parametrize("key", FAMILY_DESIGNS)
+@settings(max_examples=20, deadline=None)
+@given(trace=adversarial_kernels())
+def test_adversarial_kernels_match_oracle(key, trace):
+    assert_equivalent(trace, ADV_CONFIG, _design(key))
+
+
+@settings(max_examples=10, deadline=None)
+@given(trace=adversarial_kernels(), scheduler=st.sampled_from(SCHEDULERS))
+def test_adversarial_schedulers_match_oracle(trace, scheduler):
+    assert_equivalent(trace, ADV_CONFIG, _design("gc"), scheduler=scheduler)

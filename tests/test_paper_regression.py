@@ -37,11 +37,39 @@ SEED = 0
 BENCHMARKS = ("SPMV", "KMN", "SSC", "NW", "SD1", "FWT")
 DESIGNS = PAPER_DESIGNS
 
+#: Functional-fidelity slice pinned alongside the timing campaign: the
+#: backend's cache counters are exact (bit-identical to the replay
+#: oracle) and its cycles are a deterministic function of them, so these
+#: numbers are just as pinnable as the timing ones.
+FUNCTIONAL_DESIGNS = ("bs", "gc")
+
 TOLERANCE = 1e-9
 
 
 def build_suite() -> EvalSuite:
     return EvalSuite(benchmarks=BENCHMARKS, scale=SCALE, seed=SEED, jobs=1)
+
+
+def compute_functional_golden() -> dict:
+    """The pinned functional-fidelity numbers (exact counters +
+    estimator-derived IPC) for the fixture's benchmark slice."""
+    suite = EvalSuite(
+        benchmarks=BENCHMARKS, scale=SCALE, seed=SEED, jobs=1,
+        fidelity="functional",
+    )
+    matrix = suite.run_matrix(FUNCTIONAL_DESIGNS)
+    return {
+        bench: {
+            design: {
+                "l1_miss_rate": matrix[(bench, design)].l1.miss_rate,
+                "l1_bypass_ratio": matrix[(bench, design)].l1.bypass_ratio,
+                "l2_miss_rate": matrix[(bench, design)].l2.miss_rate,
+                "estimated_ipc": matrix[(bench, design)].ipc,
+            }
+            for design in FUNCTIONAL_DESIGNS
+        }
+        for bench in BENCHMARKS
+    }
 
 
 def compute_golden(suite: EvalSuite | None = None) -> dict:
@@ -65,6 +93,7 @@ def compute_golden(suite: EvalSuite | None = None) -> dict:
             }
             for row in table3_rows(suite)
         },
+        "functional": compute_functional_golden(),
     }
 
 
@@ -108,7 +137,7 @@ def test_fixture_pins_this_campaign(golden):
 
 
 @pytest.mark.parametrize(
-    "section", ["fig8_speedups", "fig9_miss_rates", "table3"]
+    "section", ["fig8_speedups", "fig9_miss_rates", "table3", "functional"]
 )
 def test_no_drift(golden, actual, section):
     drift = list(iter_drift(golden[section], actual[section], section))
@@ -135,3 +164,12 @@ def test_paper_shape_survives(golden):
     # FWT (insensitive) bypasses essentially nothing under either design.
     assert table3["FWT"]["gcache_bypass_ratio"] < 0.05
     assert table3["FWT"]["spdpb_bypass_ratio"] < 0.05
+    # Functional fidelity: the baseline never bypasses, G-Cache does on
+    # the cache-sensitive kernel, and every miss rate is a valid ratio.
+    functional = golden["functional"]
+    assert functional["SPMV"]["bs"]["l1_bypass_ratio"] == 0.0
+    assert functional["SPMV"]["gc"]["l1_bypass_ratio"] > 0.0
+    for bench, designs in functional.items():
+        for design, row in designs.items():
+            assert 0.0 <= row["l1_miss_rate"] <= 1.0, (bench, design)
+            assert row["estimated_ipc"] > 0.0, (bench, design)
