@@ -48,6 +48,10 @@ from typing import Dict, List, Optional
 HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_BASELINE = os.path.join(HERE, "BENCH_4.json")
 
+#: Baseline-blob schema: 1 = bare {"records": [...]}; 2 adds the
+#: top-level "schema_version" stamp (readers accept both).
+BENCH_SCHEMA_VERSION = 2
+
 #: Seed kernel set for the gate: SPMV (irregular sparse algebra) and BFS
 #: (graph traversal) are the paper's cache-sensitive extremes and the two
 #: kernels the hot-path overhaul targets.
@@ -430,6 +434,11 @@ def main() -> int:
                              "timing engine on the design-sweep workload")
     parser.add_argument("--functional-threshold", type=float, default=5.0,
                         help="min functional/timing speedup for the gate")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="append this run's measurements to the "
+                             "perf/accuracy ledger (repro.analysis JSONL)")
+    parser.add_argument("--ledger-suite", default="perf-gate",
+                        help="suite name for the ledger record")
     args = parser.parse_args()
     if args.samples is None:
         args.samples = 3 if args.write_baseline else 1
@@ -446,6 +455,22 @@ def main() -> int:
     )
     _print_table(head, f"head ({os.path.abspath(args.src)})")
 
+    if args.ledger is not None:
+        # Record the measurement in the historical ledger regardless of
+        # gate outcome — a regression is exactly what the trajectory
+        # must remember.  The analysis package lives in the tree under
+        # test, so put its src/ on the import path.
+        sys.path.insert(0, os.path.abspath(args.src))
+        from repro.analysis import Ledger, record_from_bench
+
+        record = record_from_bench(
+            {"schema_version": BENCH_SCHEMA_VERSION, "records": head},
+            suite=args.ledger_suite,
+        )
+        Ledger(args.ledger).append(record)
+        print(f"[ledger] appended {args.ledger_suite} record "
+              f"({len(record['metrics'])} metrics) -> {args.ledger}")
+
     if args.write_baseline:
         # The committed baseline also records the functional-sweep
         # measurements (mode="functional"): the cross-machine --check
@@ -460,7 +485,11 @@ def main() -> int:
         for rec in functional:
             print(f"{_key(rec):<18} functional speedup {rec['speedup']:.2f}x")
         with open(args.baseline, "w") as fh:
-            json.dump({"records": head + functional}, fh, indent=2, sort_keys=True)
+            json.dump(
+                {"schema_version": BENCH_SCHEMA_VERSION,
+                 "records": head + functional},
+                fh, indent=2, sort_keys=True,
+            )
             fh.write("\n")
         print(f"baseline written to {args.baseline}")
 

@@ -1,0 +1,85 @@
+"""Cross-campaign analysis: manifest diffing, significance, the ledger.
+
+This package consumes the artifacts the rest of the repository produces
+— campaign manifests from :mod:`repro.runner.engine`, ``BENCH_*.json``
+blobs from ``benchmarks/perf_suite.py`` — and turns them into regression
+intelligence:
+
+* :func:`load_manifest` / :class:`Manifest` — schema-tolerant manifest
+  loading (v1 label-parsing fallback, v2 structured fields).
+* :func:`compare_manifests` / :class:`ManifestComparison` — per-label,
+  per-counter deltas with deterministic permutation-test verdicts.
+* :func:`render_markdown` / :func:`render_html` — byte-stable reports.
+* :class:`Ledger` — the append-only fsync'd JSONL perf/accuracy history
+  with rolling-baseline drift gating.
+
+The package is deliberately read-only with respect to simulation: it
+never imports :mod:`repro.sim` and cannot perturb golden numbers.
+"""
+
+from repro.analysis.compare import (
+    VERDICTS,
+    CounterDelta,
+    DesignSummary,
+    LabelComparison,
+    ManifestComparison,
+    compare_manifests,
+    counter_polarity,
+)
+from repro.analysis.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    LedgerCheck,
+    host_fingerprint,
+    make_record,
+    record_from_bench,
+    record_from_manifest,
+)
+from repro.analysis.loader import (
+    AnalysisError,
+    Manifest,
+    TaskRecord,
+    flatten_metrics,
+    load_manifest,
+    parse_label,
+    parse_manifest,
+)
+from repro.analysis.report import render_html, render_markdown
+from repro.analysis.significance import (
+    bootstrap_mean_ci,
+    deterministic_seed,
+    mad,
+    median,
+    permutation_pvalue,
+)
+
+__all__ = [
+    "AnalysisError",
+    "CounterDelta",
+    "DesignSummary",
+    "LabelComparison",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "LedgerCheck",
+    "Manifest",
+    "ManifestComparison",
+    "TaskRecord",
+    "VERDICTS",
+    "bootstrap_mean_ci",
+    "compare_manifests",
+    "counter_polarity",
+    "deterministic_seed",
+    "flatten_metrics",
+    "host_fingerprint",
+    "load_manifest",
+    "mad",
+    "make_record",
+    "median",
+    "parse_label",
+    "parse_manifest",
+    "permutation_pvalue",
+    "record_from_bench",
+    "record_from_manifest",
+    "render_html",
+    "render_markdown",
+]

@@ -1,0 +1,145 @@
+"""Deterministic resampling statistics for counter comparisons.
+
+Comparing two campaigns means deciding, per counter, whether an observed
+delta is *signal* (the design/commit changed the number) or *noise*
+(seed-to-seed variation).  When a manifest carries repeated runs of the
+same experiment — e.g. one ``simulate:SPMV/gc`` task per seed — the
+per-label sample lists support a proper two-sample test; with singleton
+samples the comparison layer falls back to exact-delta verdicts.
+
+Everything here is **deterministic**: the Monte-Carlo fallbacks draw
+from ``random.Random`` seeded by a SHA-256 of the caller-provided
+context (label + counter name), never from global RNG state or time.
+Same inputs → same p-values → byte-identical reports, which is what the
+CI artifact diffing relies on.
+
+The permutation test is exact (full enumeration over index subsets)
+whenever the number of distinct group assignments fits the round
+budget, so small-sample comparisons — the common case — have no
+sampling error at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "bootstrap_mean_ci",
+    "deterministic_seed",
+    "mad",
+    "median",
+    "permutation_pvalue",
+]
+
+
+def deterministic_seed(*parts: object) -> int:
+    """A stable 64-bit seed from arbitrary context values.
+
+    ``repr`` of plain strings/numbers is stable across processes and
+    Python versions (unlike ``hash()``, which is salted per process).
+    """
+    digest = hashlib.sha256(repr(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _mean(xs: Sequence[float]) -> float:
+    return sum(xs) / len(xs)
+
+
+def permutation_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    rounds: int = 5000,
+    seed: Optional[int] = None,
+) -> Optional[float]:
+    """Two-sided permutation test on the difference of means.
+
+    Returns the probability, under the null of exchangeability, of a
+    mean difference at least as extreme as observed — or ``None`` when
+    either side has fewer than two samples (no test possible).
+
+    Exact when :math:`\\binom{n_a+n_b}{n_a} \\le rounds` (full
+    enumeration of group assignments); otherwise ``rounds`` Monte-Carlo
+    permutations with the add-one correction
+    :math:`p = (k+1)/(rounds+1)`, drawn from a ``random.Random`` seeded
+    by ``seed`` — fully deterministic.
+    """
+    a, b = list(a), list(b)
+    if len(a) < 2 or len(b) < 2:
+        return None
+    observed = abs(_mean(a) - _mean(b))
+    pooled = a + b
+    n, na = len(pooled), len(a)
+    total = math.comb(n, na)
+    if total <= rounds:
+        # Exact test: every way of relabelling the pooled samples.
+        hits = 0
+        pooled_sum = sum(pooled)
+        for idx in combinations(range(n), na):
+            sum_a = sum(pooled[i] for i in idx)
+            diff = abs(sum_a / na - (pooled_sum - sum_a) / (n - na))
+            if diff >= observed - 1e-12:
+                hits += 1
+        return hits / total
+    rng = random.Random(seed if seed is not None else deterministic_seed(a, b))
+    hits = 0
+    pooled_sum = sum(pooled)
+    indices = list(range(n))
+    for _ in range(rounds):
+        chosen = rng.sample(indices, na)
+        sum_a = sum(pooled[i] for i in chosen)
+        diff = abs(sum_a / na - (pooled_sum - sum_a) / (n - na))
+        if diff >= observed - 1e-12:
+            hits += 1
+    return (hits + 1) / (rounds + 1)
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    rounds: int = 2000,
+    alpha: float = 0.05,
+    seed: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Deterministic percentile bootstrap CI for the mean.
+
+    With a single sample the interval collapses to that point.  The
+    resampling RNG is seeded by ``seed`` (or a digest of the samples),
+    so the interval is reproducible bit-for-bit.
+    """
+    samples = list(samples)
+    if not samples:
+        raise ValueError("bootstrap of an empty sample")
+    if len(samples) == 1:
+        return samples[0], samples[0]
+    rng = random.Random(seed if seed is not None else deterministic_seed(samples))
+    n = len(samples)
+    means = sorted(
+        _mean([samples[rng.randrange(n)] for _ in range(n)]) for _ in range(rounds)
+    )
+    lo = means[max(0, int((alpha / 2) * rounds) - 1)]
+    hi = means[min(rounds - 1, int((1 - alpha / 2) * rounds))]
+    return lo, hi
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of a non-empty iterable (even lengths average the pair)."""
+    ordered: List[float] = sorted(values)
+    if not ordered:
+        raise ValueError("median of an empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Iterable[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation — the ledger's robust noise estimate."""
+    ordered = list(values)
+    if not ordered:
+        raise ValueError("MAD of an empty sequence")
+    c = median(ordered) if center is None else center
+    return median(abs(v - c) for v in ordered)

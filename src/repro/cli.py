@@ -9,7 +9,11 @@ Subcommands:
 * ``trace`` — run one benchmark with event tracing and export a
   Perfetto/Chrome ``trace_event`` JSON (or JSONL) file.
 * ``profile`` — run one benchmark with in-memory tracing and print the
-  G-Cache convergence report plus the metrics snapshot.
+  G-Cache convergence report plus the metrics snapshot; or summarise a
+  previously exported JSONL trace (``--from-trace``).
+* ``analyze`` — cross-campaign intelligence: diff two campaign
+  manifests (``analyze compare``) or query/append the historical
+  perf/accuracy ledger (``analyze ledger``).
 * ``list`` — enumerate benchmarks and designs.
 
 Examples::
@@ -19,12 +23,16 @@ Examples::
     python -m repro run --benchmark SSC --trace ssc.json --timeline-csv ssc.csv
     python -m repro trace --benchmark SPMV --design gcache -o spmv.json
     python -m repro profile --benchmark SSC --scale 0.5
+    python -m repro profile --from-trace spmv.jsonl
     python -m repro compare --benchmark SSC --designs bs,bs-s,gc
     python -m repro campaign --benchmarks SPMV,KMN,SSC --jobs 8 \\
         --cache-dir ~/.cache/repro --manifest run.json
     python -m repro campaign --jobs 8 --cache-dir ~/.cache/repro \\
         --retries 3 --task-timeout 600 --keep-going    # fault-tolerant
     python -m repro campaign --jobs 8 --cache-dir ~/.cache/repro --resume
+    python -m repro analyze compare base.json cand.json --html report.html
+    python -m repro analyze ledger perf.jsonl --append-bench BENCH_4.json
+    python -m repro analyze ledger perf.jsonl --check --suite perf-gate
 
 ``campaign`` and ``compare`` are fault-tolerant: per-task retries with
 exponential backoff (``--retries``), hung-worker reclamation
@@ -36,6 +44,7 @@ or Ctrl-C (see the resilience section of ``docs/api.md``).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -314,7 +323,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
             return 2
     obs = _trace_observability(args.output, kinds=kinds)
     result = simulate(trace, config, design, obs=obs)
-    obs.close()
+    try:
+        obs.close()  # flushes the trace file; failures are user-visible
+    except OSError as exc:
+        print(f"cannot write trace {args.output}: {exc}", file=sys.stderr)
+        return 2
 
     bus = obs.bus
     print(f"{trace.name} under {design.label}: "
@@ -328,7 +341,72 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_from_trace(path: Path, top: int) -> int:
+    """Summarise a previously exported JSONL event trace.
+
+    Exit code 2 on a missing, unreadable or unparseable trace — the
+    offline half of ``profile`` must be honest about bad inputs, since
+    it is the command people point at artifacts from other machines.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"cannot read trace {path}: {exc}", file=sys.stderr)
+        return 2
+    events = []
+    bad_lines = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            bad_lines += 1
+            continue
+        if isinstance(record, dict) and "kind" in record and "cycle" in record:
+            events.append(record)
+        else:
+            bad_lines += 1
+    if not events:
+        print(f"{path} holds no parseable trace events "
+              f"({bad_lines} malformed lines) — is it a JSONL trace from "
+              "'repro trace -o out.jsonl'?", file=sys.stderr)
+        return 2
+
+    by_kind: dict = {}
+    by_src: dict = {}
+    lo = hi = None
+    for e in events:
+        by_kind[e["kind"]] = by_kind.get(e["kind"], 0) + 1
+        src = e.get("src", "?")
+        by_src[src] = by_src.get(src, 0) + 1
+        cycle = e["cycle"]
+        if isinstance(cycle, (int, float)):
+            lo = cycle if lo is None else min(lo, cycle)
+            hi = cycle if hi is None else max(hi, cycle)
+    print(f"{path}: {len(events):,} events, cycles {lo:,}..{hi:,}"
+          + (f" ({bad_lines} malformed lines skipped)" if bad_lines else ""))
+    table = Table(["event kind", "count", "share"], title="Events by kind")
+    for kind in sorted(by_kind, key=lambda k: (-by_kind[k], k)):
+        table.row([kind, f"{by_kind[kind]:,}",
+                   f"{100.0 * by_kind[kind] / len(events):.1f}%"])
+    print(table.render())
+    print()
+    table = Table(["source", "events"], title=f"Top {top} sources")
+    for src in sorted(by_src, key=lambda s: (-by_src[s], str(s)))[:top]:
+        table.row([str(src), f"{by_src[src]:,}"])
+    print(table.render())
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
+    if args.from_trace is not None:
+        return _profile_from_trace(args.from_trace, top=args.top_sets)
+    if args.benchmark is None:
+        print("profile needs --benchmark (live run) or --from-trace PATH",
+              file=sys.stderr)
+        return 2
     config = _config(args)
     trace = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     design = _design(args.design, trace, config)
@@ -342,6 +420,103 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(render_metrics(result.extras["metrics"], title="metrics snapshot"))
     obs.close()
+    return 0
+
+
+def cmd_analyze_compare(args: argparse.Namespace) -> int:
+    """Diff two campaign manifests; optionally write report artifacts.
+
+    Exit codes: 0 clean, 1 when ``--fail-on-regression`` is set and any
+    counter regressed (or labels went missing), 2 on unreadable inputs.
+    """
+    from repro.analysis import AnalysisError, compare_manifests, load_manifest
+    from repro.analysis.report import render_html, render_markdown
+
+    try:
+        a = load_manifest(args.baseline)
+        b = load_manifest(args.candidate)
+    except AnalysisError as exc:
+        print(f"analyze compare: {exc}", file=sys.stderr)
+        return 2
+    cmp = compare_manifests(a, b, alpha=args.alpha)
+    markdown = render_markdown(cmp, top=args.top,
+                               include_unchanged=args.include_unchanged)
+    if args.markdown is not None:
+        args.markdown.write_text(markdown)
+        print(f"[report] {args.markdown}")
+    if args.html is not None:
+        args.html.write_text(
+            render_html(cmp, top=args.top,
+                        include_unchanged=args.include_unchanged))
+        print(f"[report] {args.html}")
+    if args.markdown is None and args.html is None:
+        print(markdown, end="")
+    counts = cmp.verdict_counts()
+    if args.markdown is not None or args.html is not None:
+        print("verdicts: " + ", ".join(f"{counts[v]} {v}" for v in
+                                       ("improved", "regressed", "changed",
+                                        "unchanged", "new", "missing")))
+    if args.fail_on_regression and (counts["regressed"] or counts["missing"]):
+        print(f"FAIL: {counts['regressed']} regressed counters, "
+              f"{counts['missing']} missing labels", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_analyze_ledger(args: argparse.Namespace) -> int:
+    """Append to / query / gate against the perf-accuracy ledger."""
+    from repro.analysis import (AnalysisError, Ledger, record_from_bench,
+                                record_from_manifest)
+
+    ledger = Ledger(args.ledger)
+
+    def _load_json(path: Path) -> dict:
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}")
+        if not isinstance(blob, dict):
+            raise AnalysisError(f"{path} is not a JSON object")
+        return blob
+
+    try:
+        if args.append_bench is not None:
+            record = record_from_bench(_load_json(args.append_bench),
+                                       suite=args.suite or "perf-gate")
+            ledger.append(record)
+            print(f"[ledger] appended {record['suite']} record "
+                  f"({len(record['metrics'])} metrics) -> {ledger.path}")
+        if args.append_manifest is not None:
+            record = record_from_manifest(_load_json(args.append_manifest),
+                                          suite=args.suite or "campaign")
+            ledger.append(record)
+            print(f"[ledger] appended {record['suite']} record "
+                  f"({len(record['metrics'])} metrics) -> {ledger.path}")
+    except AnalysisError as exc:
+        print(f"analyze ledger: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trend is not None:
+        suite = args.suite
+        if suite is None:
+            suites = ledger.suites()
+            if len(suites) != 1:
+                print(f"--trend needs --suite (ledger holds {suites})",
+                      file=sys.stderr)
+                return 2
+            suite = suites[0]
+        print(ledger.render_trend(suite, args.trend, window=args.window))
+    if args.check:
+        result = ledger.check(suite=args.suite, window=args.window,
+                              tolerance=args.tolerance)
+        print(result.render())
+        if not result.ok:
+            return 1
+    if (args.append_bench is None and args.append_manifest is None
+            and args.trend is None and not args.check):
+        records = ledger.records()
+        print(f"{ledger.path}: {len(records)} records, "
+              f"suites: {', '.join(ledger.suites()) or '(none)'}")
     return 0
 
 
@@ -425,11 +600,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     prof_parser = sub.add_parser(
         "profile", help="print the G-Cache convergence report and metrics"
     )
-    _add_common(prof_parser)
+    prof_parser.add_argument("--benchmark", default=None,
+                             type=lambda s: s.upper(), choices=ALL_BENCHMARKS,
+                             help="benchmark to simulate and profile live "
+                                  "(or use --from-trace for offline analysis)")
+    _add_knobs(prof_parser)
     prof_parser.add_argument("--design", default="gc", type=_design_key,
                              choices=DESIGN_KEYS)
     prof_parser.add_argument("--top-sets", type=int, default=10,
                              help="per-set duty-cycle rows to print")
+    prof_parser.add_argument("--from-trace", type=Path, default=None,
+                             metavar="PATH",
+                             help="summarise an exported JSONL event trace "
+                                  "instead of running a simulation "
+                                  "(exit 2 when missing or unparseable)")
 
     cmp_parser = sub.add_parser("compare", help="compare designs on one benchmark")
     _add_common(cmp_parser)
@@ -448,6 +632,64 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_fidelity(camp_parser)
     _add_campaign_flags(camp_parser)
 
+    ana_parser = sub.add_parser(
+        "analyze",
+        help="cross-campaign analysis: manifest diffs and the perf ledger",
+    )
+    ana_sub = ana_parser.add_subparsers(dest="analyze_command", required=True)
+
+    diff_parser = ana_sub.add_parser(
+        "compare",
+        help="diff two campaign manifests with significance-tested verdicts",
+    )
+    diff_parser.add_argument("baseline", type=Path,
+                             help="manifest A (the baseline)")
+    diff_parser.add_argument("candidate", type=Path,
+                             help="manifest B (the candidate)")
+    diff_parser.add_argument("--markdown", type=Path, default=None,
+                             metavar="PATH",
+                             help="write the markdown report here "
+                                  "(default: print it to stdout)")
+    diff_parser.add_argument("--html", type=Path, default=None, metavar="PATH",
+                             help="write a self-contained HTML report here")
+    diff_parser.add_argument("--alpha", type=float, default=0.05,
+                             help="significance level for the permutation "
+                                  "test on repeated-run counters")
+    diff_parser.add_argument("--top", type=int, default=10,
+                             help="rows in the top-regressions table")
+    diff_parser.add_argument("--include-unchanged", action="store_true",
+                             help="list unchanged counters in per-label tables")
+    diff_parser.add_argument("--fail-on-regression", action="store_true",
+                             help="exit 1 when any counter regressed or any "
+                                  "label went missing (CI gate mode)")
+
+    ledger_parser = ana_sub.add_parser(
+        "ledger",
+        help="append to / query / gate against the perf-accuracy ledger",
+    )
+    ledger_parser.add_argument("ledger", type=Path,
+                               help="ledger JSONL file (created on append)")
+    ledger_parser.add_argument("--append-bench", type=Path, default=None,
+                               metavar="BENCH.json",
+                               help="append a perf-suite BENCH blob as one "
+                                    "ledger record")
+    ledger_parser.add_argument("--append-manifest", type=Path, default=None,
+                               metavar="MANIFEST.json",
+                               help="append a campaign manifest's accuracy "
+                                    "metrics as one ledger record")
+    ledger_parser.add_argument("--suite", default=None,
+                               help="suite name to append under / filter by")
+    ledger_parser.add_argument("--trend", default=None, metavar="METRIC",
+                               help="print the metric's recent trajectory")
+    ledger_parser.add_argument("--check", action="store_true",
+                               help="gate the newest record against the "
+                                    "rolling baseline (exit 1 on regression)")
+    ledger_parser.add_argument("--window", type=int, default=10,
+                               help="rolling-baseline window size")
+    ledger_parser.add_argument("--tolerance", type=float, default=0.10,
+                               help="relative drift tolerated before a "
+                                    "metric fails the check")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
@@ -459,6 +701,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_profile(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "analyze":
+        if args.analyze_command == "compare":
+            return cmd_analyze_compare(args)
+        return cmd_analyze_ledger(args)
     return cmd_compare(args)
 
 

@@ -19,6 +19,9 @@ Options:
     --resume        skip tasks the campaign journal marks completed
                     (journal: <cache-dir>/journal.jsonl; Ctrl-C flushes a
                     partial manifest so full-scale passes are resumable)
+    --ledger P      append the campaign's accuracy metrics (miss rates,
+                    IPC per experiment) to the perf/accuracy ledger at P
+                    (``repro analyze ledger`` queries it; docs/analysis.md)
 
 The full campaign fans out over a process pool and is served from the
 content-addressed result cache on reruns — a warm rerun skips every
@@ -102,6 +105,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--resume", action="store_true",
         help="skip tasks the campaign journal records as completed",
+    )
+    parser.add_argument(
+        "--ledger", type=Path, default=None, metavar="PATH",
+        help="append this campaign's accuracy metrics to the "
+             "perf/accuracy ledger (see docs/analysis.md)",
+    )
+    parser.add_argument(
+        "--ledger-suite", default="experiments",
+        help="suite name for the ledger record",
     )
     args = parser.parse_args(argv)
 
@@ -202,6 +214,14 @@ def main(argv=None) -> int:
         print(f"[manifest] {engine.write_manifest(args.manifest)}")
     elif cache is not None and cache.enabled:
         print(f"[manifest] {engine.write_manifest(cache.root / 'manifest-latest.json')}")
+    if args.ledger is not None:
+        from repro.analysis import Ledger, record_from_manifest
+
+        record = record_from_manifest(engine.manifest(),
+                                      suite=args.ledger_suite)
+        Ledger(args.ledger).append(record)
+        print(f"[ledger] appended {args.ledger_suite} record "
+              f"({len(record['metrics'])} metrics) -> {args.ledger}")
     print(f"[done in {time.time() - t0:.1f}s]")
     return 1 if engine.failures else 0
 

@@ -47,8 +47,10 @@ from repro.runner.cache import (
 )
 from repro.runner.engine import (
     FAILED,
+    MANIFEST_SCHEMA_VERSION,
     CampaignEngine,
     CampaignTaskError,
+    git_commit,
     run_campaign,
 )
 from repro.runner.journal import CampaignJournal
@@ -57,6 +59,7 @@ from repro.runner.task import PD_SWEEP, Task, run_task, sweep_optimal_pd, trace_
 __all__ = [
     "CACHE_SCHEMA",
     "FAILED",
+    "MANIFEST_SCHEMA_VERSION",
     "MISS",
     "PD_SWEEP",
     "QUARANTINE_DIR",
@@ -67,6 +70,7 @@ __all__ = [
     "Task",
     "config_fingerprint",
     "default_salt",
+    "git_commit",
     "run_campaign",
     "run_task",
     "stable_hash",

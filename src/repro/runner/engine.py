@@ -67,13 +67,52 @@ from repro.stats.campaign import CampaignCounters, TaskTiming
 
 __all__ = [
     "FAILED",
+    "MANIFEST_SCHEMA_VERSION",
     "CampaignEngine",
     "CampaignTaskError",
+    "git_commit",
     "run_campaign",
 ]
 
 #: How often (seconds) the pool loop wakes to check deadlines/backoffs.
 _POLL_TICK = 0.05
+
+#: Campaign-manifest schema version.  Bump on any change to the manifest
+#: layout that ``repro.analysis`` consumers would need to branch on.
+#: Version history: 1 = pre-analysis manifests (no version field);
+#: 2 = adds ``schema_version``, ``git_commit`` and structured per-task
+#: ``kind``/``benchmark``/``design`` fields.
+MANIFEST_SCHEMA_VERSION = 2
+
+_GIT_COMMIT_CACHE: List[Optional[str]] = []
+
+
+def git_commit() -> Optional[str]:
+    """Git commit hash of the source tree, or ``None`` outside a repo.
+
+    Resolved once per process (manifests are written repeatedly) from
+    the directory holding this file, so an installed-but-not-cloned
+    tree, a missing ``git`` binary, or any git failure all degrade to
+    ``None`` rather than an error — manifests must write anywhere.
+    """
+    if not _GIT_COMMIT_CACHE:
+        commit: Optional[str] = None
+        try:
+            import subprocess
+
+            proc = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+            if proc.returncode == 0:
+                commit = proc.stdout.strip() or None
+        except Exception:
+            commit = None
+        _GIT_COMMIT_CACHE.append(commit)
+    return _GIT_COMMIT_CACHE[0]
 
 
 class _FailedSentinel:
@@ -149,6 +188,18 @@ def _payload_metrics(payload: Any) -> Optional[Dict[str, Any]]:
         if isinstance(metrics, dict):
             return metrics
     return None
+
+
+def _task_fields(task: Task) -> Dict[str, Optional[str]]:
+    """Structured identity fields for a task's manifest/timing record."""
+    benchmark = task.benchmark
+    if benchmark is None and task.trace is not None:
+        benchmark = task.trace.name
+    return {
+        "kind": task.kind,
+        "benchmark": benchmark,
+        "design": None if task.kind == "pd-sweep" else task.design,
+    }
 
 
 class CampaignEngine:
@@ -273,7 +324,7 @@ class CampaignEngine:
                 self._record_done(
                     TaskTiming(label=task.label, key=key, cached=True,
                                seconds=0.0, metrics=_payload_metrics(hit),
-                               fidelity=task.fidelity)
+                               fidelity=task.fidelity, **_task_fields(task))
                 )
             else:
                 # A journaled key that misses the cache (entry evicted or
@@ -490,7 +541,8 @@ class CampaignEngine:
                 TaskTiming(label=state.task.label, key=state.key, cached=False,
                            seconds=0.0, metrics=None,
                            attempts=len(state.history), failed=True,
-                           fidelity=state.task.fidelity)
+                           fidelity=state.task.fidelity,
+                           **_task_fields(state.task))
             )
             return
         self.counters.retries += 1
@@ -521,7 +573,8 @@ class CampaignEngine:
             TaskTiming(label=state.task.label, key=state.key, cached=False,
                        seconds=seconds, metrics=_payload_metrics(payload),
                        attempts=state.attempt + 1,
-                       fidelity=state.task.fidelity)
+                       fidelity=state.task.fidelity,
+                       **_task_fields(state.task))
         )
         self._completions += 1
         if (
@@ -593,6 +646,8 @@ class CampaignEngine:
                 **self.cache.counter_snapshot(),
             )
         return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "git_commit": git_commit(),
             "salt": self.salt,
             "jobs": self.jobs,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -615,6 +670,9 @@ class CampaignEngine:
             "tasks": [
                 {
                     "label": t.label,
+                    "kind": t.kind,
+                    "benchmark": t.benchmark,
+                    "design": t.design,
                     "key": t.key,
                     "cached": t.cached,
                     "seconds": round(t.seconds, 6),

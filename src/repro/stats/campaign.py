@@ -36,6 +36,12 @@ class TaskTiming:
         fidelity: Simulation fidelity the task ran at (``"timing"`` or
             ``"functional"``); recorded in the manifest so mixed-fidelity
             campaigns stay auditable.
+        kind: Task kind (``"simulate"``, ``"replay"``, ``"pd-sweep"``);
+            surfaced as a structured manifest field so the analysis
+            layer never has to re-parse labels.
+        benchmark: Benchmark name the task ran, when known.
+        design: Design key the task evaluated (``None`` for kinds that
+            have no design, e.g. ``pd-sweep``).
     """
 
     label: str
@@ -46,6 +52,9 @@ class TaskTiming:
     attempts: int = 1
     failed: bool = False
     fidelity: str = "timing"
+    kind: Optional[str] = None
+    benchmark: Optional[str] = None
+    design: Optional[str] = None
 
 
 @dataclass

@@ -97,6 +97,59 @@ class Table:
                 out.append(",".join(row))
         return "\n".join(out)
 
+    def to_markdown(self) -> str:
+        """GitHub-flavored pipe table (title as a bold lead line).
+
+        :meth:`rule` separators have no pipe-table equivalent and are
+        skipped; pipes in cells are escaped.  Used by the
+        ``repro.analysis`` report generator so comparison reports keep
+        the same tables the figure harnesses print.
+        """
+
+        def esc(cell: str) -> str:
+            return cell.replace("|", "\\|")
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(esc(c) for c in self.columns) + " |")
+        lines.append("|" + "|".join(" --- " for _ in self.columns) + "|")
+        for row in self._rows:
+            if row[0] != "---":
+                lines.append("| " + " | ".join(esc(c) for c in row) + " |")
+        return "\n".join(lines)
+
+    def to_html(self) -> str:
+        """A plain ``<table>`` (escaped cells, title as ``<caption>``).
+
+        Styling is left to the embedding document — the analysis HTML
+        report ships its own stylesheet.  :meth:`rule` separators become
+        a ``class="rule"`` row the stylesheet can draw as a divider.
+        """
+        from html import escape
+
+        parts: List[str] = ["<table>"]
+        if self.title:
+            parts.append(f"<caption>{escape(self.title)}</caption>")
+        parts.append(
+            "<thead><tr>"
+            + "".join(f"<th>{escape(c)}</th>" for c in self.columns)
+            + "</tr></thead>"
+        )
+        parts.append("<tbody>")
+        for row in self._rows:
+            if row[0] == "---":
+                parts.append(
+                    f'<tr class="rule"><td colspan="{len(self.columns)}"></td></tr>'
+                )
+            else:
+                parts.append(
+                    "<tr>" + "".join(f"<td>{escape(c)}</td>" for c in row) + "</tr>"
+                )
+        parts.append("</tbody></table>")
+        return "\n".join(parts)
+
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
 

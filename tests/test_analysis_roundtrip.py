@@ -1,0 +1,167 @@
+"""Property: manifest -> JSON -> analysis loader is bit-identical.
+
+The analysis layer's verdicts are only trustworthy if loading never
+perturbs a counter — no float reformatting, no dropped keys, no
+histogram mangling.  Synthetic manifests (hypothesis) pin the property
+over arbitrary metric payloads; real :class:`CampaignEngine` manifests
+pin it for the shapes production actually emits, including interrupted
+partial manifests and quarantined-cache accounting.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import flatten_metrics, load_manifest, parse_manifest
+from repro.runner import CampaignEngine, ResultCache, Task
+from repro.runner.engine import MANIFEST_SCHEMA_VERSION
+
+# JSON-representable metric values: ints (including huge ones) and
+# finite floats.  NaN is excluded — it does not round-trip through
+# equality — and infinities are not valid strict JSON.
+_scalars = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+
+#: A metrics snapshot: flat scalars plus histogram-style sub-dicts.
+_metrics = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz._", min_size=1, max_size=20
+    ).filter(lambda s: not s.startswith(".")),
+    st.one_of(
+        _scalars,
+        st.dictionaries(
+            st.sampled_from(["count", "mean", "p50", "p99", "max"]),
+            _scalars, min_size=1, max_size=5,
+        ),
+    ),
+    max_size=12,
+)
+
+
+def _raw_manifest(task_metrics, interrupted=False, version=MANIFEST_SCHEMA_VERSION):
+    return {
+        "schema_version": version,
+        "git_commit": "cafebabe",
+        "salt": "prop",
+        "jobs": 1,
+        "generated_at": "2026-01-01T00:00:00+0000",
+        "interrupted": interrupted,
+        "cache": {"enabled": True, "hits": 3, "misses": 1,
+                  "puts": 1, "corrupt": 1, "quarantined": 1},
+        "counters": {"tasks": len(task_metrics)},
+        "tasks": [
+            {
+                "label": f"simulate:SPMV/gc",
+                "key": f"k{i}",
+                "cached": False,
+                "seconds": 0.1,
+                "attempts": 1,
+                "failed": False,
+                "metrics": metrics,
+            }
+            for i, metrics in enumerate(task_metrics)
+        ],
+    }
+
+
+class TestSyntheticRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_metrics, min_size=1, max_size=3), st.booleans())
+    def test_every_counter_survives_json_roundtrip(self, payloads, interrupted):
+        raw = _raw_manifest(payloads, interrupted=interrupted)
+        decoded = json.loads(json.dumps(raw))
+        manifest = parse_manifest(decoded)
+        assert manifest.interrupted is interrupted
+        assert manifest.cache_counters["quarantined"] == 1
+        for task, original in zip(manifest.tasks, payloads):
+            expected = flatten_metrics(original)
+            got = task.flat_metrics()
+            assert got == expected
+            # Bit-identical, not merely ==: 1 and 1.0 compare equal but
+            # are different payloads; repr distinguishes them.
+            assert {k: repr(v) for k, v in got.items()} == \
+                {k: repr(v) for k, v in expected.items()}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_metrics, min_size=1, max_size=2))
+    def test_v1_manifest_same_property(self, payloads):
+        raw = _raw_manifest(payloads)
+        del raw["schema_version"], raw["git_commit"]
+        manifest = parse_manifest(json.loads(json.dumps(raw)))
+        assert manifest.schema_version == 1
+        for task, original in zip(manifest.tasks, payloads):
+            assert task.flat_metrics() == flatten_metrics(original)
+
+
+@pytest.fixture(scope="module")
+def engine_and_path(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("roundtrip")
+    engine = CampaignEngine(jobs=1, salt="roundtrip")
+    engine.run([
+        Task(kind="simulate", benchmark="SD1", design=d, scale=0.05)
+        for d in ("bs", "gc")
+    ])
+    path = tmp / "manifest.json"
+    engine.write_manifest(path)
+    return engine, path
+
+
+class TestEngineRoundtrip:
+    def test_task_metrics_bit_identical(self, engine_and_path):
+        engine, path = engine_and_path
+        source = engine.manifest()
+        loaded = load_manifest(path)
+        assert loaded.schema_version == MANIFEST_SCHEMA_VERSION
+        assert len(loaded.tasks) == len(source["tasks"])
+        for task, entry in zip(loaded.tasks, source["tasks"]):
+            assert task.label == entry["label"]
+            assert task.kind == entry["kind"]
+            assert task.benchmark == entry["benchmark"]
+            assert task.design == entry["design"]
+            assert task.flat_metrics() == flatten_metrics(entry["metrics"])
+
+    def test_campaign_counters_bit_identical(self, engine_and_path):
+        engine, path = engine_and_path
+        source = engine.manifest()
+        loaded = load_manifest(path)
+        assert loaded.counters == source["counters"]
+        assert loaded.git_commit == source["git_commit"]
+
+    def test_interrupted_partial_manifest_roundtrips(self, tmp_path):
+        engine = CampaignEngine(jobs=1, salt="interrupted")
+        engine.run([Task(kind="simulate", benchmark="SD1", design="bs",
+                         scale=0.05)])
+        engine.interrupted = True  # what the Ctrl-C handler records
+        path = tmp_path / "partial.json"
+        engine.write_manifest(path)
+        loaded = load_manifest(path)
+        assert loaded.interrupted is True
+        source = engine.manifest()
+        assert loaded.tasks[0].flat_metrics() == \
+            flatten_metrics(source["tasks"][0]["metrics"])
+
+    def test_quarantined_cache_counters_roundtrip(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        tasks = [Task(kind="simulate", benchmark="SD1", design="bs",
+                      scale=0.05)]
+        first = CampaignEngine(jobs=1, cache=ResultCache(cache_dir))
+        first.run(tasks)
+        # Corrupt every cached entry; the next campaign's cache reads
+        # detect the bad digests and quarantine the files.
+        corrupted = 0
+        for entry in cache_dir.rglob("*.pkl"):
+            entry.write_bytes(b"garbage")
+            corrupted += 1
+        assert corrupted > 0
+        second = CampaignEngine(jobs=1, cache=ResultCache(cache_dir))
+        second.run(tasks)
+        path = tmp_path / "quarantined.json"
+        second.write_manifest(path)
+        loaded = load_manifest(path)
+        assert loaded.cache_counters["quarantined"] >= 1
+        assert loaded.cache_counters == \
+            {k: v for k, v in second.manifest()["cache"].items()}

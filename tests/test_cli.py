@@ -156,3 +156,109 @@ class TestProfile:
         assert "Per-set switch duty cycle" in out
         assert "metrics snapshot" in out
         assert "l1.loads" in out
+
+    def test_from_trace_summarises_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        rc = main([
+            "trace", "--benchmark", "sd1", "--design", "gc",
+            "--scale", "0.05", "-o", str(trace),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["profile", "--from-trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Events by kind" in out
+        assert "cache.hit" in out or "cache.miss" in out
+
+    def test_from_trace_missing_file_exits_nonzero(self, capsys, tmp_path):
+        rc = main(["profile", "--from-trace", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_from_trace_unparseable_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n{malformed\n")
+        rc = main(["profile", "--from-trace", str(bad)])
+        assert rc == 2
+        assert "no parseable trace events" in capsys.readouterr().err
+
+    def test_profile_without_inputs_exits_nonzero(self, capsys):
+        rc = main(["profile"])
+        assert rc == 2
+        assert "--benchmark" in capsys.readouterr().err
+
+
+class TestAnalyzeCLI:
+    """`repro analyze` entry points; the heavy lifting is covered by
+    tests/test_analysis_*.py — here we pin the exit-code contract."""
+
+    @pytest.fixture(scope="class")
+    def manifests(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("analyze-cli")
+        a, b = root / "a.json", root / "b.json"
+        assert main([
+            "campaign", "--benchmarks", "SD1", "--designs", "bs,gc",
+            "--scale", "0.05", "--jobs", "1", "--no-cache",
+            "--manifest", str(a),
+        ]) == 0
+        assert main([
+            "campaign", "--benchmarks", "SD1", "--designs", "bs,gc",
+            "--scale", "0.05", "--seed", "3", "--jobs", "1", "--no-cache",
+            "--manifest", str(b),
+        ]) == 0
+        return a, b
+
+    def test_compare_writes_reports(self, capsys, tmp_path, manifests):
+        a, b = manifests
+        md, html = tmp_path / "cmp.md", tmp_path / "cmp.html"
+        rc = main(["analyze", "compare", str(a), str(b),
+                   "--markdown", str(md), "--html", str(html)])
+        assert rc == 0
+        assert "Campaign comparison" in md.read_text()
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        assert "verdicts:" in capsys.readouterr().out
+
+    def test_compare_missing_manifest_exits_nonzero(self, capsys, tmp_path):
+        rc = main(["analyze", "compare", str(tmp_path / "no.json"),
+                   str(tmp_path / "pe.json")])
+        assert rc == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_compare_unparseable_manifest_exits_nonzero(
+        self, capsys, tmp_path, manifests
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        rc = main(["analyze", "compare", str(manifests[0]), str(bad)])
+        assert rc == 2
+        assert "unparseable manifest" in capsys.readouterr().err
+
+    def test_compare_non_manifest_json_exits_nonzero(self, capsys, tmp_path):
+        not_manifest = tmp_path / "other.json"
+        not_manifest.write_text('{"records": []}')
+        rc = main(["analyze", "compare", str(not_manifest), str(not_manifest)])
+        assert rc == 2
+        assert "not a campaign manifest" in capsys.readouterr().err
+
+    def test_ledger_append_check_trend(self, capsys, tmp_path, manifests):
+        ledger = tmp_path / "led.jsonl"
+        for _ in range(4):
+            rc = main(["analyze", "ledger", str(ledger),
+                       "--append-manifest", str(manifests[0]),
+                       "--suite", "camp"])
+            assert rc == 0
+        rc = main(["analyze", "ledger", str(ledger), "--check",
+                   "--suite", "camp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+        rc = main(["analyze", "ledger", str(ledger)])
+        assert rc == 0
+        assert "4 records" in capsys.readouterr().out
+
+    def test_ledger_bad_input_exits_nonzero(self, capsys, tmp_path):
+        rc = main(["analyze", "ledger", str(tmp_path / "led.jsonl"),
+                   "--append-bench", str(tmp_path / "missing.json")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
