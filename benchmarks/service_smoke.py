@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Service smoke test: daemon end-to-end, for CI and local sanity.
+
+Exercises the full simulation-as-a-service stack against a real daemon
+subprocess (no monkeypatching — actual HTTP, actual engines, actual
+kill -9):
+
+1. **Reference**: the same campaign spec run in-process through a batch
+   :class:`CampaignEngine` — the ground truth the daemon must match
+   bit-identically.
+2. **Coalescing**: three concurrent identical submissions with
+   overlapping in-flight keys; asserts every job completes, the service
+   coalesced at least one execution (``/stats``), and every job's
+   manifest metrics equal the batch reference exactly.
+3. **Crash recovery**: a fresh job is killed mid-flight (SIGKILL to the
+   daemon after the first task completes), the daemon restarts on the
+   same state/cache directories, recovers the job under its original
+   id, resumes from the journal (``resumed >= 1``), and finishes with
+   metrics bit-identical to the reference.
+
+Stdlib only; run with ``PYTHONPATH=src python benchmarks/service_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.common import EvalSuite  # noqa: E402
+from repro.runner import CampaignEngine, ResultCache  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+from repro.sim.config import GPUConfig  # noqa: E402
+
+BENCHMARKS = ["SD1", "SPMV"]
+DESIGNS = ["bs", "gc"]
+SCALE = 0.2
+WAIT = 180.0
+
+
+def log(msg: str) -> None:
+    print(f"[service-smoke] {msg}", flush=True)
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def spec_payload(seed: int) -> dict:
+    return {
+        "benchmarks": BENCHMARKS,
+        "designs": DESIGNS,
+        "scale": SCALE,
+        "seed": seed,
+        "fidelity": "timing",
+    }
+
+
+def reference_metrics(seed: int, cache_dir: Path) -> dict:
+    """Per-label task metrics from an in-process batch campaign."""
+    engine = CampaignEngine(jobs=1, cache=ResultCache(cache_dir))
+    suite = EvalSuite(config=GPUConfig(), benchmarks=BENCHMARKS, scale=SCALE,
+                      seed=seed, engine=engine)
+    suite.run_matrix(DESIGNS)
+    manifest = engine.manifest()
+    return {t["label"]: t["metrics"] for t in manifest["tasks"]}
+
+
+def manifest_metrics(client: ServiceClient, job_id: str) -> dict:
+    manifest = client.manifest(job_id)
+    return {t["label"]: t["metrics"] for t in manifest["tasks"]}
+
+
+class Daemon:
+    """The daemon subprocess, restartable on the same directories."""
+
+    def __init__(self, port: int, cache_dir: Path, state_dir: Path) -> None:
+        self.port = port
+        self.cache_dir = cache_dir
+        self.state_dir = state_dir
+        self.proc: subprocess.Popen | None = None
+
+    def start(self) -> None:
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(self.port),
+             "--cache-dir", str(self.cache_dir),
+             "--state-dir", str(self.state_dir)],
+            env=env,
+        )
+        client = ServiceClient(port=self.port, timeout=5)
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                client.health()
+                return
+            except ServiceError:
+                if self.proc.poll() is not None:
+                    raise SystemExit(
+                        f"daemon died on startup (rc={self.proc.returncode})"
+                    )
+                if time.monotonic() > deadline:
+                    raise SystemExit("daemon never became healthy")
+                time.sleep(0.1)
+
+    def kill(self) -> None:
+        assert self.proc is not None
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def stop(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.proc.kill()
+
+
+def phase_coalescing(client: ServiceClient, reference: dict) -> None:
+    log("phase 2: three concurrent identical submissions")
+    payload = spec_payload(seed=0)
+    ids = [client.submit(payload)["id"] for _ in range(3)]
+    log(f"submitted {ids}")
+    finals = {jid: client.wait(jid, timeout=WAIT) for jid in ids}
+    for jid, snap in finals.items():
+        assert snap["state"] == "completed", (jid, snap)
+
+    stats = client.stats()
+    coalesced = stats["coalesced_total"]
+    executed = stats["counters"]["executed"]
+    hits = stats["counters"]["cache_hits"]
+    n_tasks = len(BENCHMARKS) * len(DESIGNS)
+    log(f"executed={executed} coalesced={coalesced} cache_hits={hits}")
+    assert executed == n_tasks, (
+        f"each unique key must execute exactly once: "
+        f"{executed} executions for {n_tasks} keys"
+    )
+    assert coalesced > 0, (
+        "overlapping in-flight submissions never coalesced — "
+        f"stats: {json.dumps(stats['counters'])}"
+    )
+    assert coalesced + hits == n_tasks * 2, (
+        "the duplicate jobs' tasks must all be served without execution"
+    )
+
+    for jid in ids:
+        metrics = manifest_metrics(client, jid)
+        assert metrics == reference, (
+            f"job {jid} metrics diverge from the batch reference"
+        )
+    log("all three jobs bit-identical to the batch campaign")
+
+
+def phase_crash_recovery(daemon: Daemon, client: ServiceClient,
+                         reference: dict) -> None:
+    log("phase 3: SIGKILL mid-job, restart, resume")
+    job_id = client.submit(spec_payload(seed=99))["id"]
+    deadline = time.monotonic() + WAIT
+    while True:
+        snap = client.job(job_id)
+        done = snap["counters"]["executed"] + snap["counters"]["cache_hits"]
+        if 0 < done < len(BENCHMARKS) * len(DESIGNS):
+            break
+        assert snap["state"] in ("queued", "running"), (
+            f"job finished before the kill — enlarge the matrix: {snap}"
+        )
+        assert time.monotonic() < deadline, "job never made progress"
+        time.sleep(0.02)
+    daemon.kill()
+    log(f"daemon killed with {done} task(s) journaled for {job_id}")
+
+    daemon.start()
+    log("daemon restarted on the same state dir")
+    snap = client.wait(job_id, timeout=WAIT)
+    assert snap["state"] == "completed", snap
+    assert snap["resumed"] is True, snap
+    assert snap["counters"]["resumed"] >= 1, (
+        f"restart must resume from the journal, not recompute: "
+        f"{snap['counters']}"
+    )
+    metrics = manifest_metrics(client, job_id)
+    assert metrics == reference, "resumed job diverges from the reference"
+    log(f"job {job_id} recovered: resumed={snap['counters']['resumed']}, "
+        "metrics bit-identical")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory for inspection")
+    args = parser.parse_args()
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    log(f"scratch: {scratch}")
+
+    log("phase 1: in-process batch reference campaigns")
+    reference_0 = reference_metrics(seed=0, cache_dir=scratch / "ref-cache")
+    reference_99 = reference_metrics(seed=99, cache_dir=scratch / "ref-cache")
+    log(f"reference has {len(reference_0)} tasks per seed")
+
+    daemon = Daemon(free_port(), scratch / "cache", scratch / "state")
+    daemon.start()
+    client = ServiceClient(port=daemon.port, timeout=30)
+    log(f"daemon up on port {daemon.port}")
+    try:
+        phase_coalescing(client, reference_0)
+        phase_crash_recovery(daemon, client, reference_99)
+    finally:
+        daemon.stop()
+        if args.keep:
+            log(f"kept scratch at {scratch}")
+        else:
+            import shutil
+            shutil.rmtree(scratch, ignore_errors=True)
+    log("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ from repro.obs.metrics import (
     collect_run_metrics,
 )
 from repro.obs.sinks import (
+    CallbackSink,
     JSONLSink,
     PerfettoSink,
     RingBufferSink,
@@ -57,6 +58,7 @@ __all__ = [
     "RingBufferSink",
     "JSONLSink",
     "PerfettoSink",
+    "CallbackSink",
     "validate_trace_event_json",
     "MetricsRegistry",
     "CounterMetric",

@@ -45,15 +45,18 @@ from repro.runner.cache import (
     default_salt,
     stable_hash,
 )
+from repro.runner.coalesce import InflightRegistry
 from repro.runner.engine import (
     FAILED,
     MANIFEST_SCHEMA_VERSION,
+    CampaignCancelled,
     CampaignEngine,
     CampaignTaskError,
+    EngineControl,
     git_commit,
     run_campaign,
 )
-from repro.runner.journal import CampaignJournal
+from repro.runner.journal import CampaignJournal, JournalLockedError
 from repro.runner.task import PD_SWEEP, Task, run_task, sweep_optimal_pd, trace_digest
 
 __all__ = [
@@ -63,9 +66,13 @@ __all__ = [
     "MISS",
     "PD_SWEEP",
     "QUARANTINE_DIR",
+    "CampaignCancelled",
     "CampaignEngine",
     "CampaignJournal",
     "CampaignTaskError",
+    "EngineControl",
+    "InflightRegistry",
+    "JournalLockedError",
     "ResultCache",
     "Task",
     "config_fingerprint",

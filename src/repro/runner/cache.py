@@ -20,9 +20,13 @@ Writes are atomic (temp file + ``os.replace``), so a crashed or killed
 run can never leave a half-written entry that poisons later runs;
 corrupted or truncated files fail the checksum and are treated as
 misses, never as errors.  Damaged entries are not silently discarded:
-they are *quarantined* — moved to ``<root>/quarantine/<key>.pkl`` and
-counted — so disk rot stays visible in campaign manifests while the
-engine transparently recomputes the result.
+they are *quarantined* — moved to ``<root>/quarantine/<key>.pkl``
+(``<key>.<n>.pkl`` when the key was quarantined before, so repeated
+corruption never overwrites earlier evidence) and counted — so disk rot
+stays visible in campaign manifests while the engine transparently
+recomputes the result.  Quarantine destinations are claimed with
+``O_EXCL`` before the move, so concurrent processes quarantining the
+same key land in distinct files.
 """
 
 from __future__ import annotations
@@ -123,6 +127,10 @@ class ResultCache:
         self.puts = 0
         self.corrupt = 0
         self.quarantined = 0
+        #: Damaged entries that could not be moved to quarantine/ and
+        #: were unlinked instead (counted separately so ``quarantined``
+        #: only ever reports preserved evidence, never under-reports it).
+        self.quarantine_dropped = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -145,7 +153,16 @@ class ResultCache:
         return self.root / QUARANTINE_DIR
 
     def quarantine_path_for(self, key: str) -> Path:
+        """First quarantine destination for ``key`` (later ones are
+        suffixed ``<key>.<n>.pkl``; see :meth:`quarantine_paths_for`)."""
         return self.quarantine_root / f"{key}.pkl"
+
+    def quarantine_paths_for(self, key: str) -> list:
+        """Every quarantined blob for ``key``, oldest-first by suffix."""
+        root = self.quarantine_root
+        if not root.is_dir():
+            return []
+        return sorted(root.glob(f"{key}*.pkl"))
 
     def __contains__(self, key: str) -> bool:
         return self.enabled and self.path_for(key).exists()
@@ -187,16 +204,45 @@ class ResultCache:
         return payload
 
     def _quarantine(self, key: str, path: Path) -> None:
-        """Move a damaged entry aside so the slot is clean for re-put."""
+        """Move a damaged entry aside so the slot is clean for re-put.
+
+        Each quarantine lands in its own file: the destination is claimed
+        with ``O_EXCL`` (first free of ``<key>.pkl``, ``<key>.1.pkl``, …)
+        before the move, so a second corruption of the same key — or a
+        concurrent process quarantining it — never overwrites earlier
+        forensic evidence.  When the move itself is impossible the entry
+        is unlinked instead and counted under ``quarantine_dropped``, so
+        ``quarantined`` only ever reports blobs that really survived.
+        """
+        claimed: Optional[Path] = None
         try:
+            root = self.quarantine_root
+            root.mkdir(parents=True, exist_ok=True)
             dest = self.quarantine_path_for(key)
-            dest.parent.mkdir(parents=True, exist_ok=True)
+            n = 0
+            while True:
+                try:
+                    os.close(os.open(dest, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                    claimed = dest
+                    break
+                except FileExistsError:
+                    n += 1
+                    dest = root / f"{key}.{n}.pkl"
             os.replace(path, dest)
             self.quarantined += 1
         except OSError:
-            # Fall back to unlinking; the slot must not keep serving rot.
+            # The move failed (another process may have raced the entry
+            # away, or quarantine/ is unwritable).  Release the claimed
+            # placeholder so it never reads as evidence, then fall back
+            # to unlinking; the slot must not keep serving rot.
+            if claimed is not None:
+                try:
+                    os.unlink(claimed)
+                except OSError:
+                    pass
             try:
                 path.unlink()
+                self.quarantine_dropped += 1
             except OSError:
                 pass
 
@@ -231,17 +277,36 @@ class ResultCache:
         self.puts += 1
 
     def invalidate(self, key: Optional[str] = None) -> int:
-        """Drop one entry (``key``) or every entry; returns files removed."""
+        """Drop one entry (``key``) or every entry; returns live entries
+        removed.
+
+        Quarantined blobs for the invalidated key(s) are swept too —
+        ``--invalidate`` must really clear a key's on-disk footprint, not
+        leave stale forensic copies behind — but they never count toward
+        the return value (they were never live entries).
+        """
         if not self.enabled or not self.root.is_dir():
             return 0
-        victims = (
-            [self.path_for(key)] if key is not None else list(self.root.glob("??/*.pkl"))
-        )
+        if key is not None:
+            victims = [self.path_for(key)]
+            stale = self.quarantine_paths_for(key)
+        else:
+            victims = list(self.root.glob("??/*.pkl"))
+            stale = (
+                list(self.quarantine_root.glob("*.pkl"))
+                if self.quarantine_root.is_dir()
+                else []
+            )
         removed = 0
         for path in victims:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in stale:
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed
@@ -266,6 +331,7 @@ class ResultCache:
             "puts": self.puts,
             "corrupt": self.corrupt,
             "quarantined": self.quarantined,
+            "quarantine_dropped": self.quarantine_dropped,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,137 @@
+"""Cross-engine request coalescing: one execution per in-flight key.
+
+When several campaign engines run concurrently over the same result
+cache (the ``repro.service`` daemon multiplexing client jobs onto one
+machine), identical tasks submitted at the same time would each miss
+the cache and execute redundantly — the cache only deduplicates work
+that has *finished*.  The :class:`InflightRegistry` closes that window:
+before executing a cache miss, an engine *claims* the task's key; the
+first claimant (the **leader**) executes and publishes the payload,
+every later claimant (a **follower**) blocks until the publication and
+shares the result, counted as a *coalesced hit*.
+
+The registry is process-local and thread-safe — engines sharing it must
+live in one process (the daemon runs each job's engine in a worker
+thread; the engines' own worker pools fan out below this layer).
+Payloads are published by reference, which is safe because campaign
+payloads are immutable-by-convention result objects.
+
+Failure semantics: a leader publishes its error (or a generic abort
+when it unwinds without completing), and woken followers *re-claim* the
+key — one of them becomes the new leader and executes with its own
+retry budget, so a crashing client job can never poison another job's
+result.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["InflightRegistry", "InflightEntry"]
+
+#: Payload slot sentinel: distinguishes "not published yet" from a
+#: published ``None`` payload.
+_UNSET = object()
+
+
+class InflightEntry:
+    """One in-flight execution: a latch plus the eventual payload."""
+
+    __slots__ = ("key", "owner", "event", "payload", "error", "followers")
+
+    def __init__(self, key: str, owner: str) -> None:
+        self.key = key
+        self.owner = owner
+        self.event = threading.Event()
+        self.payload: Any = _UNSET
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+    @property
+    def published(self) -> bool:
+        return self.event.is_set()
+
+    @property
+    def succeeded(self) -> bool:
+        return self.event.is_set() and self.error is None and self.payload is not _UNSET
+
+    def result(self) -> Any:
+        """The published payload; raises if the leader failed."""
+        if not self.succeeded:
+            raise (self.error or RuntimeError(f"{self.key}: leader never published"))
+        return self.payload
+
+
+class InflightRegistry:
+    """Thread-safe map of task keys currently executing somewhere.
+
+    Shared by every engine the service daemon runs; also usable
+    standalone to coalesce engines running in threads of one process.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, InflightEntry] = {}
+        #: Lifetime count of follows (executions avoided), for ``/stats``.
+        self.coalesced_total = 0
+
+    def claim(self, key: str, owner: str) -> Tuple[bool, InflightEntry]:
+        """Claim ``key`` for execution, or join the existing execution.
+
+        Returns ``(True, entry)`` when the caller became the leader and
+        must execute then :meth:`publish`, or ``(False, entry)`` when
+        another engine is already executing — wait on ``entry.event``
+        and take ``entry.result()``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = InflightEntry(key, owner)
+                self._entries[key] = entry
+                return True, entry
+            entry.followers += 1
+            self.coalesced_total += 1
+            return False, entry
+
+    def publish(
+        self,
+        entry: InflightEntry,
+        payload: Any = _UNSET,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Resolve ``entry`` (payload or error) and wake every follower.
+
+        The key is released first, so a follower that observes a failed
+        entry can immediately re-claim and execute itself.
+        """
+        with self._lock:
+            if self._entries.get(entry.key) is entry:
+                del self._entries[entry.key]
+            entry.payload = payload
+            entry.error = error
+        entry.event.set()
+
+    def abandon(self, entry: InflightEntry, reason: str) -> None:
+        """Publish a leader's unwind (cancel/interrupt) as an error."""
+        self.publish(entry, error=RuntimeError(f"{entry.key}: {reason}"))
+
+    # -- introspection (service /stats, tests) --------------------------
+    def inflight_keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def follower_count(self, key: str) -> int:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.followers if entry is not None else 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<InflightRegistry {len(self)} in flight, "
+            f"{self.coalesced_total} coalesced>"
+        )

@@ -18,6 +18,14 @@ self-describing::
 A journal is plain data — safe to cat, grep, or truncate.  A torn final
 line (the write that was in flight when the process died) is skipped on
 load rather than treated as corruption.
+
+A journal has exactly one writer.  Two engines appending to the same
+file would interleave fsync'd lines and could corrupt resume state, so
+the first append takes an advisory ``fcntl.flock`` on the journal file
+(an ``O_EXCL`` lockfile on platforms without ``fcntl``); a second
+writer fails fast with :class:`JournalLockedError` instead of silently
+interleaving.  The lock dies with the process (flock) so a crashed
+campaign never blocks its own ``--resume``.
 """
 
 from __future__ import annotations
@@ -27,7 +35,25 @@ import os
 from pathlib import Path
 from typing import IO, Any, Dict, Optional, Union
 
-__all__ = ["CampaignJournal"]
+try:  # POSIX: the lock is the journal fd itself and dies with the process.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["CampaignJournal", "JournalLockedError"]
+
+
+class JournalLockedError(RuntimeError):
+    """Another writer holds the journal; appending would interleave."""
+
+    def __init__(self, path: Path) -> None:
+        super().__init__(
+            f"journal {path} is already open for writing by another "
+            f"campaign engine; two concurrent writers would interleave "
+            f"records and corrupt resume state.  Point each campaign at "
+            f"its own journal file."
+        )
+        self.path = path
 
 
 class CampaignJournal:
@@ -42,6 +68,7 @@ class CampaignJournal:
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = Path(path)
         self._fh: Optional[IO[str]] = None
+        self._lockfile: Optional[Path] = None
         #: Keys journaled by *this* process (avoids duplicate lines when
         #: one engine runs several batches over the same tasks).
         self._written: set = set()
@@ -55,6 +82,7 @@ class CampaignJournal:
         Tolerates a torn trailing line (interrupted append) and blank
         lines; anything else unparsable is skipped too — a damaged
         journal degrades to re-executing more tasks, never to a crash.
+        Reading never takes the writer lock.
         """
         records: Dict[str, Dict[str, Any]] = {}
         try:
@@ -85,19 +113,45 @@ class CampaignJournal:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    def _open_locked(self) -> IO[str]:
+        """Open the journal for append and claim the single-writer lock.
+
+        Raises :class:`JournalLockedError` when another open journal
+        (this process or any other) already holds it.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "a")
+        if fcntl is not None:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                fh.close()
+                raise JournalLockedError(self.path) from None
+        else:  # pragma: no cover - non-POSIX fallback
+            lockfile = self.path.with_name(self.path.name + ".lock")
+            try:
+                fd = os.open(lockfile, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                fh.close()
+                raise JournalLockedError(self.path) from None
+            os.write(fd, f"{os.getpid()}\n".encode())
+            os.close(fd)
+            self._lockfile = lockfile
+        return fh
+
     def append(self, record: Dict[str, Any]) -> None:
         """Append one completed-task record and push it to disk now.
 
         Flush + fsync per record: a journal write is the commit point
         for "this task never needs to run again", so it must not sit in
-        a userspace buffer when the process dies.
+        a userspace buffer when the process dies.  The first append
+        claims the single-writer lock (see :class:`JournalLockedError`).
         """
         key = record.get("key")
         if key in self._written:
             return
         if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "a")
+            self._fh = self._open_locked()
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
@@ -105,9 +159,16 @@ class CampaignJournal:
             self._written.add(key)
 
     def close(self) -> None:
+        """Close the journal, releasing the writer lock."""
         if self._fh is not None:
-            self._fh.close()
+            self._fh.close()  # closing the fd drops the flock
             self._fh = None
+        if self._lockfile is not None:  # pragma: no cover - non-POSIX
+            try:
+                os.unlink(self._lockfile)
+            except OSError:
+                pass
+            self._lockfile = None
 
     def __enter__(self) -> "CampaignJournal":
         return self

@@ -1,0 +1,52 @@
+"""repro.service — simulation-as-a-service over the campaign engine.
+
+The batch CLI runs one campaign and exits; this package turns the same
+engine + cache + journal stack into a long-lived daemon many clients
+hammer concurrently:
+
+* :class:`~repro.service.jobs.JobManager` — submits client campaign
+  specs as *jobs*, each running a :class:`repro.runner.CampaignEngine`
+  in a worker thread with per-job pause/resume/cancel
+  (:class:`repro.runner.EngineControl`), a per-job crash-safe journal,
+  and progress events bridged onto asyncio subscribers.
+* request coalescing — every job's engine shares one
+  :class:`repro.runner.InflightRegistry`, so identical task keys in
+  flight across jobs execute exactly once; the avoided executions are
+  counted as *coalesced hits* in job manifests and ``/stats``.
+* :class:`~repro.service.daemon.CampaignDaemon` — a stdlib-only asyncio
+  HTTP/JSON front end on a localhost socket: submit/status/cancel,
+  pause/resume, newline-delimited JSON event streams, ``/stats``.
+* :class:`~repro.service.client.ServiceClient` — the programmatic
+  client the ``repro submit`` / ``repro jobs`` CLI subcommands use.
+
+Crash recovery: job specs and per-job journals live under the daemon's
+state directory, so a killed daemon resumes its in-flight jobs on
+restart (``JobManager.recover``) — journaled tasks are served from the
+cache, only the genuinely unfinished remainder re-executes, and the
+results are bit-identical to an uninterrupted run.
+
+See ``docs/service.md`` for the API surface and lifecycle.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import CampaignDaemon
+from repro.service.events import JobEventBroker
+from repro.service.jobs import (
+    JOB_STATES,
+    Job,
+    JobManager,
+    JobSpec,
+    SpecError,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "CampaignDaemon",
+    "Job",
+    "JobEventBroker",
+    "JobManager",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceError",
+    "SpecError",
+]

@@ -1,0 +1,164 @@
+"""Programmatic client for the campaign daemon.
+
+Thin stdlib wrapper (``http.client``) over the daemon's JSON routes —
+what the ``repro submit`` / ``repro jobs`` subcommands use, and what
+tests drive the daemon with.  One connection per call; the event
+stream holds its connection open and yields parsed NDJSON events until
+the daemon closes it (job finished).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (or not at all).
+
+    Attributes:
+        status: HTTP status code, or ``None`` for transport failures.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a :class:`repro.service.daemon.CampaignDaemon`.
+
+    Args:
+        host: Daemon host.
+        port: Daemon port.
+        timeout: Socket timeout per request, seconds.  The event stream
+            uses it per read, so pick it larger than the longest gap
+            between task completions you expect to sit through.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8753,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach repro service at {self.host}:{self.port}: {exc}"
+                ) from None
+            try:
+                decoded = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                decoded = None
+            if response.status >= 400:
+                detail = (decoded or {}).get("error") if isinstance(decoded, dict) \
+                    else raw.decode(errors="replace").strip()
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: {detail}",
+                    status=response.status,
+                )
+            return decoded
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job spec (plain dict, see :class:`JobSpec.FIELDS`);
+        returns the queued job's snapshot (``id``, ``state``, ...)."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def pause(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/pause")
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/resume")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def manifest(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/manifest")
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the job's progress events (history, then live).
+
+        Blocks between events; terminates when the job finishes and the
+        daemon closes the stream.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                conn.request("GET", f"/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach repro service at {self.host}:{self.port}: {exc}"
+                ) from None
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    detail = json.loads(raw).get("error")
+                except (json.JSONDecodeError, AttributeError):
+                    detail = raw.decode(errors="replace").strip()
+                raise ServiceError(
+                    f"GET /jobs/{job_id}/events -> {response.status}: {detail}",
+                    status=response.status,
+                )
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its
+        final snapshot.  Raises :class:`ServiceError` on timeout."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            snap = self.job(job_id)
+            if snap["state"] in ("completed", "failed", "cancelled"):
+                return snap
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {snap['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ServiceClient {self.host}:{self.port}>"

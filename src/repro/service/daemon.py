@@ -1,0 +1,349 @@
+"""Stdlib-only asyncio HTTP/JSON front end for the campaign engine.
+
+One localhost socket, hand-rolled HTTP/1.1 (no third-party deps, one
+request per connection), JSON bodies.  The daemon itself is thin: every
+route delegates to the :class:`repro.service.jobs.JobManager`, which
+owns the engines, the shared in-flight registry, and the state
+directory.  On start the daemon recovers any jobs a previous process
+left unfinished.
+
+Routes::
+
+    GET  /health                  liveness + identity
+    GET  /stats                   aggregate counters, coalescing totals
+    GET  /jobs                    all job snapshots
+    POST /jobs                    submit a JobSpec payload (202 + snapshot)
+    GET  /jobs/<id>               one job snapshot
+    POST /jobs/<id>/pause         pause at the next task boundary
+    POST /jobs/<id>/resume        resume a paused job
+    POST /jobs/<id>/cancel        cancel (CampaignCancelled at boundary)
+    GET  /jobs/<id>/events        NDJSON progress stream (replay + live,
+                                  close-delimited)
+    GET  /jobs/<id>/manifest      the job's campaign manifest JSON
+
+Errors are JSON too: ``{"error": ...}`` with 400 (bad spec / body),
+404 (unknown job or route), 405, or 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.jobs import Job, JobManager, JobSpec, SpecError
+
+__all__ = ["CampaignDaemon"]
+
+#: Bounds on untrusted input; requests beyond these are rejected.
+MAX_BODY = 1 << 20
+MAX_HEADER_LINE = 8192
+MAX_HEADERS = 64
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP from the client; mapped to a 400 response."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class CampaignDaemon:
+    """The ``repro serve`` daemon: HTTP in, campaign jobs out.
+
+    Args:
+        host: Bind address (keep it loopback; there is no auth).
+        port: TCP port; ``0`` picks a free one (read :attr:`port` after
+            :meth:`start`).
+        cache_dir: Shared result-cache root for every job.
+        state_dir: Job spec/journal/manifest directory; enables
+            crash recovery across daemon restarts.
+        engine_jobs: Worker processes per job engine (1 = each job runs
+            serially in its own thread).
+        salt: Cache-key salt override (tests).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_dir: Optional[str] = None,
+        state_dir: Optional[str] = None,
+        engine_jobs: int = 1,
+        salt: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.state_dir = state_dir
+        self.engine_jobs = engine_jobs
+        self.salt = salt
+        self.manager: Optional[JobManager] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> List[Job]:
+        """Bind the socket, recover persisted jobs, return them."""
+        loop = asyncio.get_running_loop()
+        self.manager = JobManager(
+            loop,
+            cache_root=self.cache_dir,
+            state_dir=self.state_dir,
+            engine_jobs=self.engine_jobs,
+            salt=self.salt,
+        )
+        recovered = self.manager.recover()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return recovered
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point (the ``repro serve`` subcommand)."""
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        recovered = await self.start()
+        print(f"repro service listening on http://{self.host}:{self.port}", flush=True)
+        if recovered:
+            print(f"recovered {len(recovered)} unfinished job(s): "
+                  + ", ".join(j.id for j in recovered), flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        serve = asyncio.ensure_future(self.serve_forever())
+        try:
+            await stop.wait()
+        finally:
+            serve.cancel()
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _BadRequest as exc:
+                await self._respond(writer, exc.status, {"error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            await self._route(writer, method, path, body)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            try:
+                await self._respond(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except Exception:  # pragma: no cover - client already gone
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+        line = await reader.readline()
+        if not line:
+            raise asyncio.IncompleteReadError(b"", None)
+        if len(line) > MAX_HEADER_LINE:
+            raise _BadRequest("request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        path = target.split("?", 1)[0]
+
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADERS):
+            line = await reader.readline()
+            if len(line) > MAX_HEADER_LINE:
+                raise _BadRequest("header line too long")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _BadRequest("too many headers")
+
+        body: Optional[Dict[str, Any]] = None
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                raise _BadRequest("bad Content-Length") from None
+            if n > MAX_BODY:
+                raise _BadRequest("request body too large", status=413)
+            raw = await reader.readexactly(n) if n else b""
+            if raw:
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise _BadRequest(f"request body is not JSON: {exc}") from None
+        return method, path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+    ) -> None:
+        blob = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + blob)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+    ) -> None:
+        manager = self.manager
+        assert manager is not None
+        parts = [p for p in path.split("/") if p]
+
+        if parts == ["health"]:
+            if method != "GET":
+                return await self._respond(writer, 405, {"error": "GET only"})
+            return await self._respond(
+                writer, 200,
+                {"ok": True, "service": "repro", "port": self.port},
+            )
+
+        if parts == ["stats"]:
+            if method != "GET":
+                return await self._respond(writer, 405, {"error": "GET only"})
+            return await self._respond(writer, 200, manager.stats())
+
+        if parts == ["jobs"]:
+            if method == "GET":
+                return await self._respond(
+                    writer, 200, {"jobs": [j.snapshot() for j in manager.jobs()]}
+                )
+            if method == "POST":
+                try:
+                    spec = JobSpec.from_payload(body or {})
+                except SpecError as exc:
+                    return await self._respond(writer, 400, {"error": str(exc)})
+                job = manager.submit(spec)
+                return await self._respond(writer, 202, job.snapshot())
+            return await self._respond(writer, 405, {"error": "GET or POST"})
+
+        if len(parts) in (2, 3) and parts[0] == "jobs":
+            try:
+                job = manager.job(parts[1])
+            except KeyError:
+                return await self._respond(
+                    writer, 404, {"error": f"unknown job {parts[1]!r}"}
+                )
+            action = parts[2] if len(parts) == 3 else None
+
+            if action is None:
+                if method != "GET":
+                    return await self._respond(writer, 405, {"error": "GET only"})
+                return await self._respond(writer, 200, job.snapshot())
+
+            if action in ("pause", "resume", "cancel"):
+                if method != "POST":
+                    return await self._respond(writer, 405, {"error": "POST only"})
+                getattr(manager, action)(job.id)
+                return await self._respond(writer, 200, job.snapshot())
+
+            if action == "events":
+                if method != "GET":
+                    return await self._respond(writer, 405, {"error": "GET only"})
+                return await self._stream_events(writer, job)
+
+            if action == "manifest":
+                if method != "GET":
+                    return await self._respond(writer, 405, {"error": "GET only"})
+                return await self._send_manifest(writer, job)
+
+        await self._respond(writer, 404, {"error": f"no route for {method} {path}"})
+
+    # ------------------------------------------------------------------
+    # Route bodies
+    # ------------------------------------------------------------------
+    async def _stream_events(self, writer: asyncio.StreamWriter, job: Job) -> None:
+        """NDJSON progress stream: history replay, then live events.
+
+        Close-delimited — the stream (and connection) ends when the job
+        finishes and its broker closes.
+        """
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        async for event in job.broker.subscribe():
+            writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
+            await writer.drain()
+
+    async def _send_manifest(self, writer: asyncio.StreamWriter, job: Job) -> None:
+        if job.manifest_path is None:
+            return await self._respond(
+                writer, 404, {"error": "daemon is stateless: no manifest persisted"}
+            )
+        try:
+            manifest = json.loads(job.manifest_path.read_text())
+        except FileNotFoundError:
+            return await self._respond(
+                writer, 404,
+                {"error": f"manifest for {job.id} not written yet "
+                          f"(job state: {job.state})"},
+            )
+        except json.JSONDecodeError as exc:
+            return await self._respond(
+                writer, 500, {"error": f"manifest unreadable: {exc}"}
+            )
+        return await self._respond(writer, 200, manifest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "listening" if self._server is not None else "stopped"
+        return f"<CampaignDaemon {state} on {self.host}:{self.port}>"

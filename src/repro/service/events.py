@@ -1,0 +1,131 @@
+"""Per-job event fan-out: engine threads in, asyncio subscribers out.
+
+The campaign engine emits progress callbacks from whatever thread runs
+the job; daemon subscribers consume newline-delimited JSON from asyncio
+coroutines.  :class:`JobEventBroker` bridges the two worlds with
+exactly-once delivery per subscriber:
+
+* ``publish`` (any thread) appends the event to a bounded history and
+  schedules delivery to the current subscriber queues via
+  ``loop.call_soon_threadsafe`` — *inside* the broker lock, so event
+  order is identical for history and every subscriber;
+* ``subscribe`` (event-loop only) atomically replays the history into a
+  fresh queue and attaches it, so an event is delivered either by the
+  replay or live, never both and never neither.
+
+Without an event loop (``loop=None`` — unit tests, embedded use) the
+broker degrades to history-only: ``events()`` still works, async
+subscription is unavailable.
+
+This is the same fan-out idiom as :class:`repro.obs.EventBus`, one
+level up: obs events describe *simulated* hardware, these describe the
+*service* executing simulations.  An in-process obs bus can be bridged
+in with :class:`repro.obs.sinks.CallbackSink` → ``publish``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Any, AsyncIterator, Dict, List, Optional, Set
+
+__all__ = ["JobEventBroker"]
+
+#: Queue sentinel that terminates a subscriber's stream.
+_CLOSED = object()
+
+
+class JobEventBroker:
+    """Bounded event history plus live fan-out for one job.
+
+    Args:
+        loop: The asyncio loop subscribers run on; ``None`` disables
+            live subscription (history only).
+        history: Events retained for replay to late subscribers.
+    """
+
+    def __init__(
+        self, loop: Optional[asyncio.AbstractEventLoop] = None, history: int = 4096
+    ) -> None:
+        self._loop = loop
+        self._history: deque = deque(maxlen=history)
+        self._subscribers: Set[asyncio.Queue] = set()
+        self._lock = threading.Lock()
+        self.closed = False
+        self.published = 0
+
+    # ------------------------------------------------------------------
+    # Producer side (engine worker threads)
+    # ------------------------------------------------------------------
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Record ``event`` and deliver it to every current subscriber.
+
+        Thread-safe; callable from any thread.  Events published after
+        :meth:`close` are dropped (the stream has already terminated).
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self._history.append(event)
+            self.published += 1
+            targets = list(self._subscribers)
+            if self._loop is not None and targets:
+                self._loop.call_soon_threadsafe(self._deliver, targets, event)
+
+    def close(self) -> None:
+        """Terminate the stream: subscribers drain and stop iterating."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            targets = list(self._subscribers)
+            if self._loop is not None and targets:
+                self._loop.call_soon_threadsafe(self._deliver, targets, _CLOSED)
+
+    @staticmethod
+    def _deliver(targets: List[asyncio.Queue], event: Any) -> None:
+        for queue in targets:
+            queue.put_nowait(event)
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        """Snapshot of the retained history (polling / tests)."""
+        with self._lock:
+            return list(self._history)
+
+    async def subscribe(self) -> AsyncIterator[Dict[str, Any]]:
+        """Replay the history, then yield live events until close.
+
+        Must be iterated on the broker's event loop.  Attachment and
+        replay happen atomically under the broker lock, so no event is
+        duplicated or lost around the subscription instant.
+        """
+        if self._loop is None:
+            raise RuntimeError("broker has no event loop; live subscription disabled")
+        queue: asyncio.Queue = asyncio.Queue()
+        with self._lock:
+            for event in self._history:
+                queue.put_nowait(event)
+            if self.closed:
+                queue.put_nowait(_CLOSED)
+            else:
+                self._subscribers.add(queue)
+        try:
+            while True:
+                event = await queue.get()
+                if event is _CLOSED:
+                    return
+                yield event
+        finally:
+            with self._lock:
+                self._subscribers.discard(queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        return (
+            f"<JobEventBroker {state}: {self.published} published, "
+            f"{len(self._subscribers)} subscribers>"
+        )

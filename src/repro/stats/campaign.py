@@ -25,6 +25,9 @@ class TaskTiming:
         label: Human-readable task label (``simulate:SPMV/gc``).
         key: Content-addressed cache key (SHA-256 hex).
         cached: Whether the result came from the persistent cache.
+        coalesced: Whether the result was shared from another engine's
+            in-flight execution of the same key (service-mode request
+            coalescing) — never executed here, never a disk hit.
         seconds: Worker-side wall time; ~0 for cache hits.
         metrics: Namespaced metrics snapshot from the task's payload
             (``RunResult.extras["metrics"]``); ``None`` when the payload
@@ -48,6 +51,7 @@ class TaskTiming:
     key: str
     cached: bool
     seconds: float
+    coalesced: bool = False
     metrics: Optional[Dict[str, object]] = None
     attempts: int = 1
     failed: bool = False
@@ -77,6 +81,9 @@ class CampaignCounters:
         failed: Tasks that exhausted their retry budget.
         resumed: Tasks served from the cache because the campaign
             journal recorded them as completed by an earlier run.
+        coalesced: Tasks served by following another engine's in-flight
+            execution of the same key (service-mode request coalescing)
+            instead of executing or re-reading the cache.
         timings: Per-task records, in completion order.
     """
 
@@ -92,6 +99,7 @@ class CampaignCounters:
     pool_rebuilds: int = 0
     failed: int = 0
     resumed: int = 0
+    coalesced: int = 0
     timings: List[TaskTiming] = field(default_factory=list)
 
     def record(self, timing: TaskTiming) -> None:
@@ -99,6 +107,8 @@ class CampaignCounters:
         self.unique_tasks += 1
         if timing.cached:
             self.cache_hits += 1
+        elif timing.coalesced:
+            self.coalesced += 1
         else:
             self.cache_misses += 1
             if not timing.failed:
@@ -126,6 +136,7 @@ class CampaignCounters:
             "pool_rebuilds": self.pool_rebuilds,
             "failed": self.failed,
             "resumed": self.resumed,
+            "coalesced": self.coalesced,
         }
 
     def render(self) -> str:
@@ -139,6 +150,8 @@ class CampaignCounters:
         table.row(["elapsed", f"{self.elapsed_seconds:.1f}s"])
         if self.resumed:
             table.row(["resumed from journal", str(self.resumed)])
+        if self.coalesced:
+            table.row(["coalesced (shared in-flight)", str(self.coalesced)])
         if self.retries or self.timeouts or self.pool_rebuilds or self.failed:
             table.row(["retries", str(self.retries)])
             table.row(["timeouts", str(self.timeouts)])

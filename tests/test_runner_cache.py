@@ -193,17 +193,20 @@ class TestCacheStore:
         assert cache.get(key) == [4]
 
     def test_quarantine_is_outside_the_entry_namespace(self, tmp_path):
-        """Quarantined files never shadow live entries: len() and
-        invalidate() ignore them."""
+        """Quarantined files never shadow live entries: len() ignores
+        them and invalidate() never counts them as removed entries —
+        though it does sweep them, so --invalidate clears the full
+        on-disk footprint (stale evidence included)."""
         cache = ResultCache(tmp_path)
         key = "ef" * 32
         cache.put(key, [1])
         cache.path_for(key).write_bytes(b"rot")
         assert cache.get(key) is MISS
         assert len(cache) == 0
-        assert cache.invalidate() == 0
-        assert cache.quarantine_path_for(key).exists()
         assert cache.counter_snapshot()["quarantined"] == 1
+        assert cache.quarantine_path_for(key).exists()
+        assert cache.invalidate() == 0  # no live entries removed...
+        assert not cache.quarantine_path_for(key).exists()  # ...rot swept
 
     def test_corrupt_entry_reexecutes(self, tmp_path):
         """End-to-end: a damaged file means the engine quarantines the

@@ -1,0 +1,193 @@
+"""Concurrency regression tests: quarantine evidence and journal locking.
+
+Two bugs flushed out by the service daemon (many engines over one cache
+root / state dir):
+
+* ``ResultCache._quarantine`` used a fixed destination + ``os.replace``,
+  so a second corruption of the same key — or a concurrent process
+  quarantining it — silently destroyed the earlier forensic blob.  Now
+  every quarantine claims a unique destination with ``O_EXCL``
+  (``<key>.pkl``, ``<key>.1.pkl``, ...) and the unlink fallback is
+  counted separately (``quarantine_dropped``).
+* ``CampaignJournal`` had no concurrent-writer guard: two engines
+  appending to one journal interleaved records.  Now the first append
+  takes an advisory ``flock`` (O_EXCL lockfile where flock is missing)
+  and a second writer fails fast with :class:`JournalLockedError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner import (
+    MISS,
+    CampaignJournal,
+    JournalLockedError,
+    ResultCache,
+)
+
+ROT = b"this is not a cache entry"
+
+
+def _corrupt(cache: ResultCache, key: str) -> None:
+    cache.path_for(key).write_bytes(ROT)
+
+
+# ----------------------------------------------------------------------
+# Quarantine evidence preservation
+# ----------------------------------------------------------------------
+def test_repeat_corruption_preserves_every_quarantine_blob(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ab" + "0" * 62
+
+    for round_no in range(3):
+        cache.put(key, {"round": round_no})
+        _corrupt(cache, key)
+        assert cache.get(key) is MISS
+
+    blobs = cache.quarantine_paths_for(key)
+    assert len(blobs) == 3, "each corruption must keep its own evidence"
+    assert len({p.name for p in blobs}) == 3
+    assert cache.quarantined == 3
+    assert cache.quarantine_dropped == 0
+    # Every surviving blob really is the rot that was quarantined, not an
+    # empty O_EXCL placeholder.
+    assert all(p.read_bytes() == ROT for p in blobs)
+
+
+def test_unwritable_quarantine_falls_back_to_unlink_and_is_counted(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" + "1" * 62
+    cache.put(key, "payload")
+    _corrupt(cache, key)
+    # A *file* where the quarantine directory should be makes mkdir (and
+    # everything after it) fail — the unwritable-quarantine case.
+    cache.quarantine_root.write_bytes(b"not a directory")
+
+    assert cache.get(key) is MISS
+    assert cache.quarantined == 0, "no blob survived, so none may be claimed"
+    assert cache.quarantine_dropped == 1
+    assert not cache.path_for(key).exists(), "the rotten slot must be cleared"
+
+    snap = cache.counter_snapshot()
+    assert snap["quarantined"] == 0
+    assert snap["quarantine_dropped"] == 1
+
+
+def test_invalidate_key_sweeps_that_keys_quarantine_blobs(tmp_path):
+    cache = ResultCache(tmp_path)
+    key, other = "ef" + "2" * 62, "ab" + "3" * 62
+    for k in (key, other):
+        cache.put(k, "x")
+        _corrupt(cache, k)
+        cache.get(k)
+        cache.put(k, "fresh")
+
+    removed = cache.invalidate(key)
+    assert removed == 1, "only the live entry counts"
+    assert cache.quarantine_paths_for(key) == []
+    assert len(cache.quarantine_paths_for(other)) == 1, "other keys untouched"
+
+    assert cache.invalidate() == 1  # other's live entry
+    assert cache.quarantine_paths_for(other) == []
+
+
+# ----------------------------------------------------------------------
+# Multiprocess put/get/corrupt cycles
+# ----------------------------------------------------------------------
+def _hammer(root: str, worker: int, keys, cycles: int):
+    """Worker: put/corrupt/get cycles over shared keys; returns counters."""
+    cache = ResultCache(root)
+    for cycle in range(cycles):
+        for key in keys:
+            cache.put(key, {"worker": worker, "cycle": cycle})
+            _corrupt(cache, key)
+            assert cache.get(key) is MISS or True  # racing put may win
+    return cache.quarantined, cache.quarantine_dropped
+
+
+def test_multiprocess_corruption_loses_no_quarantine_evidence(tmp_path):
+    """N processes hammering the same keys: every quarantine a process
+    *counted* must exist on disk afterwards — the O_EXCL claim means
+    racing quarantines can never overwrite each other."""
+    keys = [f"{i:02x}" + f"{i:062x}" for i in range(4)]
+    workers, cycles = 4, 8
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(workers) as pool:
+        counts = pool.starmap(
+            _hammer, [(str(tmp_path), w, keys, cycles) for w in range(workers)]
+        )
+    quarantined = sum(q for q, _ in counts)
+    assert quarantined > 0, "the hammer must actually corrupt something"
+
+    on_disk = list((tmp_path / "quarantine").glob("*.pkl"))
+    assert len(on_disk) == quarantined, (
+        f"{quarantined} quarantines counted but {len(on_disk)} blobs on disk "
+        "— evidence was overwritten or phantom-counted"
+    )
+    # No empty placeholders left behind either.
+    assert all(p.stat().st_size > 0 for p in on_disk)
+
+
+# ----------------------------------------------------------------------
+# Journal single-writer guard
+# ----------------------------------------------------------------------
+def test_second_journal_writer_fails_fast(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    first = CampaignJournal(path)
+    first.append({"key": "k1", "label": "a"})
+
+    second = CampaignJournal(path)
+    with pytest.raises(JournalLockedError):
+        second.append({"key": "k2", "label": "b"})
+
+    # Reading never takes the writer lock.
+    assert "k1" in second.load()
+
+    first.close()
+    second.append({"key": "k2", "label": "b"})  # lock released -> writable
+    second.close()
+    records = CampaignJournal(path).load()
+    assert set(records) == {"k1", "k2"}
+
+
+def test_journal_lock_excludes_other_processes(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    journal = CampaignJournal(path)
+    journal.append({"key": "held", "label": "parent"})
+
+    code = (
+        "import sys\n"
+        "from repro.runner import CampaignJournal, JournalLockedError\n"
+        "j = CampaignJournal(sys.argv[1])\n"
+        "try:\n"
+        "    j.append({'key': 'intruder', 'label': 'child'})\n"
+        "except JournalLockedError:\n"
+        "    sys.exit(42)\n"
+        "sys.exit(0)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, str(path)],
+        env={"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 42, (
+        f"child should have been locked out, got rc={proc.returncode}: "
+        f"{proc.stderr}"
+    )
+    journal.close()
+
+    proc = subprocess.run(
+        [sys.executable, "-c", code, str(path)],
+        env={"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert set(CampaignJournal(path).load()) == {"held", "intruder"}
