@@ -136,6 +136,10 @@ def record_from_bench(
             metrics[f"{key}.normalized_cost"] = rec["normalized_cost"]
         if rec.get("mode") == "functional" and "speedup" in rec:
             metrics[f"{key}.speedup"] = rec["speedup"]
+            phases = rec.get("phase_seconds")
+            if isinstance(phases, Mapping):
+                for phase, seconds in phases.items():
+                    metrics[f"{key}.phase_seconds.{phase}"] = seconds
         if "best_seconds" in rec:
             metrics[f"{key}.best_seconds"] = rec["best_seconds"]
     return make_record(suite, metrics, kind="perf", **kw)

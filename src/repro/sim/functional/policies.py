@@ -115,6 +115,14 @@ class MgmtModel:
     #: L1 accesses between periodic callbacks (0 = none); the engine owns
     #: the countdown and calls :meth:`on_tick_fire`.
     tick_interval = 0
+    #: Declares that ``fill_decision(st, ..., hint=False, ...)`` returns
+    #: False with **no side effects** whenever
+    #: ``st.switches[set_index] == 0`` — the engine's event loops then
+    #: skip the Python call on that (overwhelmingly common) path.
+    fill_gate_switches = False
+    #: Declares that ``on_insert`` with ``hint=False`` is a no-op, so
+    #: the engine can skip the call for ordinary fills.
+    insert_skip_cold = False
 
     def new_core(self, num_sets: int, ways: int):
         return None
@@ -194,6 +202,10 @@ class GCacheModel(MgmtModel):
         self.max_m = cfg.max_m
         self.aging_epoch = cfg.aging_epoch
         self.max_rrpv = max_rrpv
+        # Fixed-M fill_decision with hint=False touches no state before
+        # the switch test; the adaptive variant counts every fill.
+        self.fill_gate_switches = not cfg.adaptive_aging
+        self.insert_skip_cold = cfg.cold_insert_rrpv is None
 
     def new_core(self, num_sets: int, ways: int):
         return _GCacheState(num_sets, self.initial_m)
@@ -263,30 +275,41 @@ class DeadBlockModel(MgmtModel):
         self.table_size = policy.table_size
         self.region_shift = policy.region_shift
         self.confidence = policy.confidence
+        self.table_mask = policy.table_size - 1
 
     def new_core(self, num_sets: int, ways: int):
         return {}  # region index -> (predicted reuses, dead streak)
 
     def _index(self, line: int) -> int:
+        # Kept as the hash's one readable definition; the hooks below
+        # inline it (they run once per L1 miss, several probes each).
         region = line >> self.region_shift
-        return (region ^ (region >> 7)) & (self.table_size - 1)
+        return (region ^ (region >> 7)) & self.table_mask
 
     def fill_decision(self, st, l1, set_index, line, hint, now) -> bool:
-        predicted, streak = st.get(self._index(line), (1, 0))
+        region = line >> self.region_shift
+        predicted, streak = st.get(
+            (region ^ (region >> 7)) & self.table_mask, (1, 0)
+        )
         return predicted == 0 and streak >= self.confidence
 
     def choose_victim(self, st, l1, set_index, now) -> Optional[int]:
         base = set_index * l1.ways
         tag = l1.tag
         use = l1.use
+        shift = self.region_shift
+        mask = self.table_mask
+        get = st.get
         for way in range(l1.ways):
-            predicted, _ = st.get(self._index(tag[base + way]), (1, 0))
+            region = tag[base + way] >> shift
+            predicted, _ = get((region ^ (region >> 7)) & mask, (1, 0))
             if use[base + way] >= predicted > 0:
                 return way
         return None
 
     def on_evict(self, st, l1, idx, now) -> None:
-        table_idx = self._index(l1.tag[idx])
+        region = l1.tag[idx] >> self.region_shift
+        table_idx = (region ^ (region >> 7)) & self.table_mask
         _, streak = st.get(table_idx, (1, 0))
         use = l1.use[idx]
         st[table_idx] = (0, streak + 1) if use == 0 else (use, 0)

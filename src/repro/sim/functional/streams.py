@@ -9,14 +9,19 @@ closed form:
     now[c][p] = 1 + sum_c' min(len_c', p) + |{c' < c : len_c' > p}|
 
 (the accesses of earlier rounds, plus the cores ahead of ``c`` in round
-``p``).  With ``now`` known up front, per-core runs of private-L1 hits
-can be applied eagerly while shared-L2 events are globally ordered by a
-heap keyed on ``now``.
+``p``).  With ``now`` known up front, per-core runs of private-L1 work
+can be applied eagerly while shared-L2 events are ordered by their
+precomputed times.
 
-Each column is materialized twice: as a NumPy array for the engine's
-bulk hit probes, and as a plain Python list for its scalar event path
-(element access on a list is several times cheaper than NumPy scalar
-extraction, and events dominate on miss-heavy GPU streams).
+Columns are built **lazily**: the engine's per-design replay paths touch
+very different subsets (the scalar PDP event loop wants plain Python
+lists and never a NumPy array; the fully decoupled burst path wants
+NumPy columns and never most of the lists), so only ``line_l``/
+``write_l`` (the tuple split every other column derives from) and the
+closed-form ``now`` column are materialized up front.  Everything else
+is built on first request by an ``ensure_*`` method and cached, so a
+sweep sharing one :class:`CoreArrays` across many designs still pays
+each conversion at most once.
 """
 
 from __future__ import annotations
@@ -33,13 +38,28 @@ __all__ = ["CoreArrays", "build_core_arrays"]
 
 
 class CoreArrays:
-    """Column layout of one core's transaction stream."""
+    """Column layout of one core's transaction stream.
+
+    ``line_l``/``write_l`` (plain lists) and ``now`` (NumPy) are always
+    present; every other column starts as ``None`` and is materialized
+    by the matching ``ensure_*`` call.  The engine calls ``ensure_*``
+    once per run for exactly the columns its replay path reads, then
+    binds the plain attributes in its hot loops — lazy construction
+    never adds per-access indirection.
+    """
 
     __slots__ = (
         "n",
+        # NumPy columns.
         "line",
         "write",
         "set1",
+        "now",
+        "part",
+        "local",
+        "set2",
+        # Python-list columns (scalar paths; element access on a list is
+        # several times cheaper than NumPy scalar extraction).
         "line_l",
         "write_l",
         "set1_l",
@@ -47,22 +67,85 @@ class CoreArrays:
         "part_l",
         "local_l",
         "set2_l",
+        # Deferred-conversion inputs.
+        "_l1_mask",
+        "_l2_mask",
+        "_addr_map",
     )
 
-    def __init__(self, n: int) -> None:
-        self.n = n
-        # NumPy columns (probe path).
-        self.line: np.ndarray
-        self.write: np.ndarray
-        self.set1: np.ndarray
-        # Python-list columns (scalar event path).
-        self.line_l: list
-        self.write_l: list
-        self.set1_l: list
-        self.now_l: list
+    def __init__(
+        self,
+        line_l: list,
+        write_l: list,
+        now: np.ndarray,
+        l1_mask: int,
+        l2_mask: int,
+        addr_map: Optional[AddressMap],
+    ) -> None:
+        self.n = len(line_l)
+        self.line_l = line_l
+        self.write_l = write_l
+        self.now = now
+        self.line: Optional[np.ndarray] = None
+        self.write: Optional[np.ndarray] = None
+        self.set1: Optional[np.ndarray] = None
+        self.part: Optional[np.ndarray] = None
+        self.local: Optional[np.ndarray] = None
+        self.set2: Optional[np.ndarray] = None
+        self.set1_l: Optional[list] = None
+        self.now_l: Optional[list] = None
         self.part_l: Optional[list] = None
         self.local_l: Optional[list] = None
         self.set2_l: Optional[list] = None
+        self._l1_mask = l1_mask
+        self._l2_mask = l2_mask
+        self._addr_map = addr_map
+
+    # ------------------------------------------------------------------
+    # Lazy column builders (idempotent; each conversion happens once).
+    # ------------------------------------------------------------------
+    def _line_np(self) -> np.ndarray:
+        if self.line is None:
+            self.line = np.array(self.line_l, dtype=np.int64)
+        return self.line
+
+    def ensure_probe(self) -> None:
+        """NumPy ``line``/``write``/``set1`` for the bulk L1 probes."""
+        line = self._line_np()
+        if self.write is None:
+            self.write = np.array(self.write_l, dtype=np.bool_)
+        if self.set1 is None:
+            self.set1 = line & self._l1_mask
+
+    def ensure_scalar_l1(self) -> None:
+        """List ``set1_l`` for the scalar L1 walk/event paths."""
+        if self.set1_l is None:
+            if self.set1 is None:
+                self.set1 = self._line_np() & self._l1_mask
+            self.set1_l = self.set1.tolist()
+
+    def ensure_times(self) -> None:
+        """List ``now_l`` for event ordering (heap keys, store times)."""
+        if self.now_l is None:
+            self.now_l = self.now.tolist()
+
+    def ensure_l2(self) -> None:
+        """NumPy ``part``/``local``/``set2`` (L2 routing)."""
+        if self.part is None:
+            if self._addr_map is None:
+                raise ValueError("stream was built with include_l2=False")
+            line = self._line_np()
+            self.part = self._addr_map.partition_array(line)
+            self.local = self._addr_map.local_array(line)
+            self.set2 = self.local & self._l2_mask
+
+    def ensure_scalar_l2(self) -> None:
+        """List ``part_l``/``local_l``/``set2_l`` for scalar L2 events."""
+        if self.part_l is None:
+            self.ensure_l2()
+            self.part_l = self.part.tolist()
+            self.local_l = self.local.tolist()
+            self.set2_l = self.set2.tolist()
 
 
 def build_core_arrays(
@@ -93,26 +176,18 @@ def build_core_arrays(
     l2_mask = config.l2_bank_sets - 1
     if include_l2 and addr_map is None:
         addr_map = AddressMap(config.num_partitions, config.mc_interleave_lines)
+    if not include_l2:
+        addr_map = None
     out: List[CoreArrays] = []
     for stream in streams:
         n = len(stream)
-        arrays = CoreArrays(n)
         # Split the tuple stream into columns first: NumPy converts flat
         # int lists far faster than lists of tuples.
         line_l = [t[0] for t in stream]
         write_l = [t[1] for t in stream]
-        arrays.line_l = line_l
-        arrays.write_l = write_l
-        arrays.line = np.array(line_l, dtype=np.int64)
-        arrays.write = np.array(write_l, dtype=np.bool_)
-        arrays.set1 = arrays.line & l1_mask
-        arrays.set1_l = arrays.set1.tolist()
-        arrays.now_l = (now_offset + 1 + base[:n] + rank[:n]).tolist()
+        now = now_offset + 1 + base[:n] + rank[:n]
         rank[:n] += 1
-        if include_l2:
-            arrays.part_l = addr_map.partition_array(arrays.line).tolist()
-            local = addr_map.local_array(arrays.line)
-            arrays.local_l = local.tolist()
-            arrays.set2_l = (local & l2_mask).tolist()
-        out.append(arrays)
+        out.append(
+            CoreArrays(line_l, write_l, now, l1_mask, l2_mask, addr_map)
+        )
     return out

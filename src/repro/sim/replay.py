@@ -97,7 +97,12 @@ def _interleave_wave(warps, scheduler, coalescer, stream) -> None:
         return
     # "lrr": round-robin one instruction per live warp per pass.  Track
     # the live warps in an order-preserving list so finished warps drop
-    # out of the rotation instead of being re-scanned every pass.
+    # out of the rotation instead of being re-scanned every pass.  This
+    # default path inlines Coalescer.coalesce (same shift/dedup, minus
+    # the per-warp call and statistics bumps — the coalescer object is
+    # discarded by build_core_streams, so its counters are unobservable).
+    shift = coalescer._shift
+    max_lanes = coalescer.max_lanes
     pcs = [0] * len(warps)
     order = [i for i, w in enumerate(warps) if w]
     while order:
@@ -111,11 +116,25 @@ def _interleave_wave(warps, scheduler, coalescer, stream) -> None:
             if pc < len(warp):
                 nxt.append(i)
             if op == OP_LOAD:
-                for line in coalesce(arg):
-                    append((line, False))
+                is_write = False
             elif op == OP_STORE:
-                for line in coalesce(arg):
-                    append((line, True))
+                is_write = True
+            else:
+                continue
+            n = len(arg)
+            if n > max_lanes:
+                raise ValueError(
+                    f"warp presented {n} lanes, max is {max_lanes}"
+                )
+            if not n:
+                continue
+            lines = [a >> shift for a in arg]
+            first = lines[0]
+            if lines.count(first) == n:
+                append((first, is_write))
+            else:
+                for line in dict.fromkeys(lines):
+                    append((line, is_write))
         order = nxt
 
 

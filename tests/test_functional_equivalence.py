@@ -285,3 +285,122 @@ def test_adversarial_kernels_match_oracle(key, trace):
 @given(trace=adversarial_kernels(), scheduler=st.sampled_from(SCHEDULERS))
 def test_adversarial_schedulers_match_oracle(trace, scheduler):
     assert_equivalent(trace, ADV_CONFIG, _design("gc"), scheduler=scheduler)
+
+
+# ---------------------------------------------------------------------------
+# Burst-path adversarial kernels
+#
+# The batched per-set burst path reorders work aggressively: L2 events
+# replay grouped by (bank, set) instead of globally interleaved, store
+# traffic is folded into walks and parked in per-set buffers that flush
+# lazily, and set-conflict storms fall off the vectorized round loop
+# into a scalar tail.  These strategies aim squarely at the seams where
+# that reordering could diverge from the oracle.
+# ---------------------------------------------------------------------------
+
+_L2_SETS = ADV_CONFIG.l2_bank_sets
+
+
+def _same_l2_set_pool(max_lines: int = 24):
+    """Line addresses that all land in one (bank, set) of the L2."""
+    from repro.sim.addressing import AddressMap
+
+    amap = AddressMap(ADV_CONFIG.num_partitions, ADV_CONFIG.mc_interleave_lines)
+    pool = []
+    for line in range(8192):
+        if amap.partition(line) == 0 and amap.local(line) & (_L2_SETS - 1) == 0:
+            pool.append(line)
+            if len(pool) >= max_lines:
+                break
+    return tuple(pool)
+
+
+_L2_CONFLICT_POOL = _same_l2_set_pool()
+
+
+@st.composite
+def burst_adversarial_kernels(draw):
+    """Kernels targeting the burst path's reordering seams.
+
+    Segments (bases drawn kernel-wide, so CTAs on different cores race
+    on the *same* sets — L1 state is core-private, so only cross-core
+    L2 interleaving can expose ordering bugs):
+
+    * ``l1-storm``   — long same-L1-set runs with distinct tags: one
+      (core, set) CSR group dominates, forcing the round loop into its
+      scalar tail mid-kernel.
+    * ``l2-storm``   — every access maps to one L2 (bank, set): the
+      deferred store buffers flush against same-set load misses in the
+      densest possible interleaving.
+    * ``store-flood`` — store-dominated runs with occasional reloads:
+      store misses must touch no L1 state, store hits must restamp, and
+      L2 dirty/writeback accounting rides entirely on the folded path.
+    * ``race``       — tight load/store alternation on one line and its
+      set neighbours, the per-set order most sensitive to batch order.
+    """
+    storm_set = draw(st.integers(0, _NUM_SETS - 1))
+    flood_base = draw(st.integers(0, 256))
+    num_ctas = draw(st.integers(2, 4))
+    ctas = []
+    for _ in range(num_ctas):
+        warps = []
+        for _ in range(draw(st.integers(1, 2))):
+            prog = []
+            for _ in range(draw(st.integers(1, 3))):
+                kind = draw(
+                    st.sampled_from(
+                        ("l1-storm", "l2-storm", "store-flood", "race")
+                    )
+                )
+                if kind == "l1-storm":
+                    for i in range(draw(st.integers(8, 32))):
+                        prog.append(
+                            _mem_op(
+                                [storm_set + i * _NUM_SETS],
+                                draw(st.booleans()),
+                            )
+                        )
+                elif kind == "l2-storm":
+                    for _ in range(draw(st.integers(6, 20))):
+                        prog.append(
+                            _mem_op(
+                                [draw(st.sampled_from(_L2_CONFLICT_POOL))],
+                                draw(st.booleans()),
+                            )
+                        )
+                elif kind == "store-flood":
+                    span = draw(st.integers(2, 8))
+                    for _ in range(draw(st.integers(6, 24))):
+                        line = flood_base + draw(st.integers(0, span))
+                        write = draw(
+                            st.sampled_from((True, True, True, False))
+                        )
+                        prog.append(_mem_op([line], write))
+                else:  # race: load/store ping-pong within one set
+                    line = storm_set + draw(st.integers(0, 7)) * _NUM_SETS
+                    for i in range(draw(st.integers(4, 12))):
+                        prog.append(_mem_op([line], i % 2 == 0))
+                if draw(st.booleans()):
+                    prog.append((OP_ALU, draw(st.integers(1, 4))))
+            warps.append(prog)
+        ctas.append(CTATrace(warps=warps))
+    return KernelTrace(name="BURST-ADV", ctas=ctas)
+
+
+#: The designs that route through each burst path: full L1+L2 bursts
+#: (bs, bs-s), scalar walk + L2 burst (dbp), and the load-miss heap with
+#: deferred store flushes (gc, gc-m).
+BURST_PATH_DESIGNS = ("bs", "bs-s", "dbp", "gc", "gc-m")
+
+
+@pytest.mark.parametrize("key", BURST_PATH_DESIGNS)
+@settings(max_examples=15, deadline=None)
+@given(trace=burst_adversarial_kernels())
+def test_burst_adversarial_match_oracle(key, trace):
+    assert_equivalent(trace, ADV_CONFIG, _design(key))
+
+
+@settings(max_examples=8, deadline=None)
+@given(trace=burst_adversarial_kernels(), scheduler=st.sampled_from(SCHEDULERS))
+def test_burst_adversarial_schedulers_match_oracle(trace, scheduler):
+    assert_equivalent(trace, ADV_CONFIG, _design("bs"), scheduler=scheduler)
