@@ -14,6 +14,11 @@ Subcommands:
 * ``analyze`` — cross-campaign intelligence: diff two campaign
   manifests (``analyze compare``) or query/append the historical
   perf/accuracy ledger (``analyze ledger``).
+* ``scenario`` — declarative workloads (``repro.scenarios``): validate
+  a spec and build its trace (``scenario build``), run the generative
+  workload space through the functional backend and report where each
+  design wins/loses (``scenario sweep``), or print the primitive
+  registry reference (``scenario primitives``).
 * ``serve`` — run the simulation-as-a-service daemon: an asyncio
   HTTP/JSON front end multiplexing many client campaigns onto the
   shared engine/cache stack with cross-job request coalescing.
@@ -38,6 +43,11 @@ Examples::
         --retries 3 --task-timeout 600 --keep-going    # fault-tolerant
     python -m repro campaign --jobs 8 --cache-dir ~/.cache/repro --resume
     python -m repro analyze compare base.json cand.json --html report.html
+    python -m repro scenario build --table1 SD1 -o sd1.json
+    python -m repro scenario build myspec.json --spec-out canonical.json
+    python -m repro scenario sweep --limit 20 --report wins.md \\
+        --sweep-manifest sweep.json --jobs 8
+    python -m repro scenario primitives
     python -m repro analyze ledger perf.jsonl --append-bench BENCH_4.json
     python -m repro analyze ledger perf.jsonl --check --suite perf-gate
     python -m repro serve --port 8753 --cache-dir ~/.cache/repro \\
@@ -575,6 +585,129 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return _finish_campaign(engine, args)
 
 
+def cmd_scenario_build(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        SpecError,
+        build_scenario,
+        canonical_spec,
+        load_spec,
+        spec_digest,
+        table1_spec,
+    )
+    from repro.trace.io import save_trace
+
+    try:
+        if args.table1:
+            doc = table1_spec(args.table1.upper(), scale=args.scale,
+                              seed=args.seed)
+            spec = canonical_spec(doc)
+        elif args.spec:
+            spec = canonical_spec(load_spec(args.spec), scale=args.scale,
+                                  seed=args.seed)
+        else:
+            print("scenario build needs a SPEC.json path or --table1 NAME",
+                  file=sys.stderr)
+            return 2
+        trace = build_scenario(spec)
+    except SpecError as exc:
+        print(f"invalid scenario spec: {exc}", file=sys.stderr)
+        return 2
+
+    digest = spec_digest(spec)
+    ops = sum(len(w) for cta in trace.ctas for w in cta.warps)
+    print(f"scenario   {trace.name}")
+    print(f"digest     {digest}")
+    print(f"ctas       {len(trace.ctas)} x {len(trace.ctas[0].warps)} warps")
+    print(f"ops        {ops}")
+    if args.spec_out is not None:
+        args.spec_out.write_text(
+            json.dumps(spec, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"[spec] {args.spec_out}")
+    if args.output is not None:
+        save_trace(trace, args.output)
+        print(f"[trace] {args.output}")
+    return 0
+
+
+def cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        SpecError,
+        generate_space,
+        load_spec,
+        canonical_spec,
+        run_scenario_sweep,
+    )
+
+    keys = [_design_key(k) for k in args.designs.split(",") if k.strip()]
+    unknown = [k for k in keys if k not in DESIGN_KEYS]
+    if unknown:
+        print(f"unknown designs: {unknown}; known: {DESIGN_KEYS}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.specs:
+            specs = [canonical_spec(load_spec(p)) for p in args.specs]
+        else:
+            specs = generate_space(limit=args.limit)
+    except SpecError as exc:
+        print(f"invalid scenario spec: {exc}", file=sys.stderr)
+        return 2
+
+    engine = _engine(args, default_jobs=None)
+    try:
+        result = run_scenario_sweep(
+            specs, designs=keys, scale=args.scale, seed=args.seed,
+            engine=engine)
+    except KeyboardInterrupt:
+        print("\n[interrupted] rerun with --resume to pick up the remainder",
+              file=sys.stderr)
+        return 130
+
+    report = result.report_markdown(design=keys[-1], baseline=keys[0])
+    if args.report is not None:
+        args.report.write_text(report, encoding="utf-8")
+        print(f"[report] {args.report}")
+    else:
+        print(report)
+    if args.sweep_manifest is not None:
+        args.sweep_manifest.write_text(result.manifest_json(),
+                                       encoding="utf-8")
+        print(f"[sweep-manifest] {args.sweep_manifest}")
+    return _finish_campaign(engine, args)
+
+
+def cmd_scenario_primitives(_: argparse.Namespace) -> int:
+    from repro.scenarios import PRIMITIVES
+    from repro.scenarios.schema import STEP_FIELDS
+
+    def field_rows(table: Table, fields) -> None:
+        for fname, fld in fields.items():
+            dflt = "(required)" if fld.required else repr(fld.default)
+            bounds = ""
+            if fld.lo is not None or fld.hi is not None:
+                bounds = f"{fld.lo}..{fld.hi}"
+            elif fld.choices:
+                bounds = "|".join(str(c) for c in fld.choices)
+            table.row([fname, fld.kind, dflt, bounds, fld.doc])
+
+    for name in sorted(PRIMITIVES):
+        prim = PRIMITIVES[name]
+        print(f"{name} — {prim.doc}")
+        table = Table(["param", "kind", "default", "range", "doc"])
+        field_rows(table, prim.PARAMS)
+        print(table.render())
+        print()
+    print("stream body step kinds:")
+    for kind, fields in STEP_FIELDS.items():
+        print(f"  {kind}:")
+        if fields:
+            table = Table(["field", "kind", "default", "range", "doc"])
+            field_rows(table, fields)
+            print("    " + table.render().replace("\n", "\n    "))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import CampaignDaemon
 
@@ -742,6 +875,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_fidelity(camp_parser)
     _add_campaign_flags(camp_parser)
 
+    scen_parser = sub.add_parser(
+        "scenario",
+        help="declarative scenario specs: build traces, sweep the "
+             "generative workload space, list primitives",
+    )
+    scen_sub = scen_parser.add_subparsers(dest="scenario_command",
+                                          required=True)
+
+    scen_build = scen_sub.add_parser(
+        "build", help="validate a spec and build its kernel trace")
+    scen_build.add_argument("spec", nargs="?", type=Path, default=None,
+                            help="scenario spec JSON file")
+    scen_build.add_argument("--table1", default=None, metavar="NAME",
+                            help="use a pinned Table-1 spec "
+                                 "(SD1, STL, WP, FWT) instead of a file")
+    scen_build.add_argument("--scale", type=float, default=1.0)
+    scen_build.add_argument("--seed", type=int, default=0)
+    scen_build.add_argument("-o", "--output", type=Path, default=None,
+                            help="save the built trace as repro-trace JSON")
+    scen_build.add_argument("--spec-out", type=Path, default=None,
+                            help="write the canonical (default-filled) "
+                                 "spec JSON to this path")
+
+    scen_sweep = scen_sub.add_parser(
+        "sweep",
+        help="run scenario specs through the functional backend and "
+             "report where each design wins/loses")
+    scen_sweep.add_argument("specs", nargs="*", type=Path,
+                            help="spec JSON files (default: the built-in "
+                                 "generative space)")
+    scen_sweep.add_argument("--limit", type=int, default=None,
+                            help="truncate the generated space to the "
+                                 "first N workloads")
+    scen_sweep.add_argument("--designs", default="bs,gc",
+                            help="comma-separated design keys; first is "
+                                 "the baseline, last is the candidate")
+    scen_sweep.add_argument("--scale", type=float, default=1.0)
+    scen_sweep.add_argument("--seed", type=int, default=0)
+    scen_sweep.add_argument("--report", type=Path, default=None,
+                            help="write the wins/losses markdown report "
+                                 "here (default: stdout)")
+    scen_sweep.add_argument("--sweep-manifest", type=Path, default=None,
+                            help="write the deterministic sweep manifest "
+                                 "(digests + counters, no wall-clock) here")
+    _add_campaign_flags(scen_sweep)
+
+    scen_sub.add_parser(
+        "primitives",
+        help="print the registered primitives and their parameter schema")
+
     serve_parser = sub.add_parser(
         "serve",
         help="run the simulation service daemon (HTTP/JSON on localhost)",
@@ -872,6 +1055,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_profile(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "scenario":
+        if args.scenario_command == "build":
+            return cmd_scenario_build(args)
+        if args.scenario_command == "sweep":
+            return cmd_scenario_sweep(args)
+        return cmd_scenario_primitives(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "submit":

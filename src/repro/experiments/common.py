@@ -24,7 +24,7 @@ rate (canonical implementation: :func:`repro.runner.task.sweep_optimal_pd`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runner import CampaignEngine, ResultCache, Task
 from repro.runner.task import PD_SWEEP, sweep_optimal_pd
@@ -78,6 +78,14 @@ class EvalSuite:
             ``"functional"`` (fast vectorized replay; exact cache
             counters, estimated cycles).  PD sweeps are unaffected (they
             already run the timing-free replay driver).
+        scenarios: Declarative scenario spec documents
+            (:mod:`repro.scenarios`).  Each is canonicalized with the
+            suite's scale/seed and its name joins the workload matrix
+            alongside ``benchmarks`` — every suite method (``run``,
+            ``run_matrix``, ``speedup``, ...) accepts scenario names
+            transparently.  When ``benchmarks`` is omitted and scenarios
+            are given, the matrix is the scenarios alone (not Table 1 +
+            scenarios).
     """
 
     def __init__(
@@ -92,12 +100,29 @@ class EvalSuite:
         task_timeout: Optional[float] = None,
         engine: Optional[CampaignEngine] = None,
         fidelity: str = "timing",
+        scenarios: Optional[Sequence[Mapping[str, Any]]] = None,
     ) -> None:
         self.config = config if config is not None else GPUConfig()
-        self.benchmarks = list(benchmarks) if benchmarks else list(ALL_BENCHMARKS)
+        if benchmarks:
+            self.benchmarks = list(benchmarks)
+        else:
+            self.benchmarks = [] if scenarios else list(ALL_BENCHMARKS)
         self.scale = scale
         self.seed = seed
         self.fidelity = fidelity
+        self._scenarios: Dict[str, Dict[str, Any]] = {}
+        if scenarios:
+            from repro.scenarios import canonical_spec
+
+            for doc in scenarios:
+                spec = canonical_spec(doc, scale=scale, seed=seed)
+                name = spec["name"]
+                if name in self._scenarios or name in self.benchmarks:
+                    raise ValueError(
+                        f"duplicate workload name {name!r} in the suite matrix"
+                    )
+                self._scenarios[name] = spec
+                self.benchmarks.append(name)
         if engine is None:
             cache = ResultCache(cache_dir) if cache_dir is not None else None
             engine = CampaignEngine(
@@ -120,7 +145,6 @@ class EvalSuite:
         """
         return Task(
             kind="simulate",
-            benchmark=benchmark,
             design=design,
             pd=self.optimal_pd(benchmark) if design == "spdp-b" else None,
             scale=self.scale,
@@ -128,26 +152,41 @@ class EvalSuite:
             config=self.config,
             trace=self._traces.get(benchmark) if inline else None,
             fidelity=self.fidelity,
+            **self._workload_fields(benchmark),
         )
 
     def _pd_task(self, benchmark: str, inline: bool = False) -> Task:
         return Task(
             kind="pd-sweep",
-            benchmark=benchmark,
             scale=self.scale,
             seed=self.seed,
             config=self.config,
             trace=self._traces.get(benchmark) if inline else None,
+            **self._workload_fields(benchmark),
         )
+
+    def _workload_fields(self, name: str) -> Dict[str, Any]:
+        """Task identity for one matrix workload: benchmark or scenario."""
+        if name in self._scenarios:
+            return {"scenario": self._scenarios[name]}
+        return {"benchmark": name}
 
     # ------------------------------------------------------------------
     # Lazily-built artefacts
     # ------------------------------------------------------------------
     def trace(self, benchmark: str) -> KernelTrace:
         if benchmark not in self._traces:
-            self._traces[benchmark] = build_benchmark(
-                benchmark, scale=self.scale, seed=self.seed
-            )
+            if benchmark in self._scenarios:
+                from repro.scenarios import build_scenario
+
+                # Canonical docs already carry the suite's scale/seed.
+                self._traces[benchmark] = build_scenario(
+                    self._scenarios[benchmark]
+                )
+            else:
+                self._traces[benchmark] = build_benchmark(
+                    benchmark, scale=self.scale, seed=self.seed
+                )
         return self._traces[benchmark]
 
     def optimal_pd(self, benchmark: str) -> int:

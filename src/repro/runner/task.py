@@ -123,6 +123,13 @@ class Task:
             traces that did not come from the benchmark registry.
         trace_key: Precomputed :func:`trace_digest` (avoids rehashing a
             shared trace for every grid point).
+        scenario: Declarative scenario spec document (a plain dict — it
+            must cross the pickle boundary), built in the worker via
+            :func:`repro.scenarios.build_scenario` with this task's
+            ``scale``/``seed``.  The cache key is the content-addressed
+            :func:`repro.scenarios.spec_digest` of the canonicalized
+            spec, so editing any knob — or the schema defaults it
+            inherits — invalidates exactly the affected entries.
     """
 
     kind: str
@@ -139,6 +146,7 @@ class Task:
     key_by_trace: bool = False
     trace_key: Optional[str] = None
     fidelity: str = "timing"
+    scenario: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in TASK_KINDS:
@@ -152,8 +160,12 @@ class Task:
                 f"fidelity={self.fidelity!r} only applies to simulate tasks, "
                 f"not {self.kind!r}"
             )
-        if self.benchmark is None and self.trace is None:
-            raise ValueError("task needs a benchmark name or an explicit trace")
+        if self.benchmark is None and self.trace is None and self.scenario is None:
+            raise ValueError(
+                "task needs a benchmark name, a scenario spec or an explicit trace"
+            )
+        if self.benchmark is not None and self.scenario is not None:
+            raise ValueError("benchmark and scenario are mutually exclusive")
         if self.key_by_trace and self.trace is None and self.trace_key is None:
             raise ValueError("key_by_trace requires a trace or a trace_key")
         if self.kind == "simulate" and self.design == "spdp-b" and self.pd is None:
@@ -170,7 +182,11 @@ class Task:
         (``simulate[functional]:SPMV/gc``) so manifests read correctly
         without consulting the per-task fidelity field.
         """
-        name = self.benchmark or (self.trace.name if self.trace else "?")
+        name = self.benchmark
+        if name is None and self.scenario is not None:
+            name = self.scenario.get("name", "?")
+        if name is None:
+            name = self.trace.name if self.trace else "?"
         if self.kind == "pd-sweep":
             return f"pd-sweep:{name}"
         kind = self.kind
@@ -187,6 +203,15 @@ class Task:
         if self.key_by_trace:
             key = self.trace_key or trace_digest(self.trace)
             fp["trace"] = key
+        elif self.scenario is not None:
+            from repro.scenarios import spec_digest
+
+            # Content-addressed: the digest covers the canonical spec
+            # with this task's scale/seed applied, so scale/seed need no
+            # separate fingerprint entries.
+            fp["scenario"] = spec_digest(
+                self.scenario, scale=self.scale, seed=self.seed
+            )
         else:
             fp["benchmark"] = self.benchmark
             fp["scale"] = self.scale
@@ -213,6 +238,10 @@ class Task:
     def build_trace(self) -> KernelTrace:
         if self.trace is not None:
             return self.trace
+        if self.scenario is not None:
+            from repro.scenarios import build_scenario
+
+            return build_scenario(self.scenario, scale=self.scale, seed=self.seed)
         from repro.trace.suite import build_benchmark
 
         return build_benchmark(self.benchmark, scale=self.scale, seed=self.seed)

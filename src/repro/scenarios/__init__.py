@@ -1,0 +1,73 @@
+"""Declarative scenario layer: specs -> synthetic kernel traces.
+
+A *scenario spec* is a versioned JSON document composing registered
+primitives — streaming, working sets, skewed gathers, divergent
+accesses, pointer chases — into an arbitrary synthetic workload.  The
+layer turns "what workload property do we want to probe?" into data:
+
+* :mod:`repro.scenarios.schema` — typed validation with actionable
+  field paths, canonicalization, and content-addressed digests;
+* :mod:`repro.scenarios.primitives` — the drop-in primitive registry;
+* :mod:`repro.scenarios.builder` — spec -> :class:`KernelTrace`;
+* :mod:`repro.scenarios.table1` — Table-1 benchmarks re-expressed as
+  specs, pinned byte-identical to the hand-written generators;
+* :mod:`repro.scenarios.sweep` — the generative workload space and the
+  "where does G-Cache win / lose?" sweep + report.
+
+See ``docs/scenarios.md`` for the schema reference and workflow.
+"""
+
+from repro.scenarios.builder import build_scenario
+from repro.scenarios.primitives import (
+    PRIMITIVES,
+    Primitive,
+    WarpContext,
+    register_primitive,
+)
+from repro.scenarios.schema import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    Field,
+    PhaseSpec,
+    ScenarioSpec,
+    SpecError,
+    canonical_spec,
+    load_spec,
+    loads_spec,
+    spec_digest,
+    validate_spec,
+)
+from repro.scenarios.sweep import (
+    SPACE_AXES,
+    SweepResult,
+    WorkloadOutcome,
+    generate_space,
+    run_scenario_sweep,
+)
+from repro.scenarios.table1 import TABLE1_BENCHMARKS, table1_spec
+
+__all__ = [
+    "SPACE_AXES",
+    "SweepResult",
+    "WorkloadOutcome",
+    "generate_space",
+    "run_scenario_sweep",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "Field",
+    "PRIMITIVES",
+    "PhaseSpec",
+    "Primitive",
+    "ScenarioSpec",
+    "SpecError",
+    "TABLE1_BENCHMARKS",
+    "WarpContext",
+    "build_scenario",
+    "canonical_spec",
+    "load_spec",
+    "loads_spec",
+    "register_primitive",
+    "spec_digest",
+    "table1_spec",
+    "validate_spec",
+]

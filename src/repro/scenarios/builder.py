@@ -1,0 +1,121 @@
+"""Build a :class:`~repro.trace.trace.KernelTrace` from a scenario spec.
+
+The builder is the bridge between the declarative layer and the
+generator framework: regions are allocated with the same
+:class:`~repro.trace.generators.base.RegionAllocator` (declaration order
+= allocation order), CTA counts scale through the same
+``max(8, round(base_ctas * scale))`` rule, and per-warp randomness uses
+the same crc32-based seeding discipline — extended with a per-phase
+term so re-ordering phases re-seeds them.  Because the helpers match the
+generators exactly, suitable specs reproduce hand-written Table-1 traces
+*byte-identically* (see :mod:`repro.scenarios.table1`), which is the
+differential anchor that keeps the declarative layer honest.
+
+Invariants guaranteed for **every** valid spec (and property-tested in
+``tests/test_scenario_properties.py``):
+
+* determinism: same ``(spec, seed)`` → bit-identical trace;
+* every address is line-aligned and inside its declared region
+  (helpers wrap modulo the region size);
+* warp/CTA structure matches the spec (CTA count, warps per CTA);
+* all warps of a CTA emit the same barrier count, in the same relative
+  order, so no barrier can deadlock.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Mapping, Optional, Union
+
+from repro.trace.generators.base import RegionAllocator, TraceParams, bar
+from repro.trace.trace import CTATrace, KernelTrace
+
+from repro.scenarios.primitives import PRIMITIVES, WarpContext
+from repro.scenarios.schema import (
+    ScenarioSpec,
+    canonical_spec,
+    spec_digest,
+    validate_spec,
+)
+
+__all__ = ["build_scenario"]
+
+#: Per-phase seed stride (prime, far above any cta*131 + warp term), so
+#: the same primitive in two phases draws independent streams.
+_PHASE_SEED_STRIDE = 15_485_863
+
+
+def build_scenario(
+    spec: Union[Mapping[str, Any], ScenarioSpec],
+    *,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> KernelTrace:
+    """Build the synthetic kernel trace a scenario spec describes.
+
+    Args:
+        spec: A raw spec document (validated here) or an already
+            validated :class:`ScenarioSpec`.
+        scale / seed: Optional overrides — how sweeps rescale one spec
+            without editing the document.  They participate in
+            validation and in the trace's content (and therefore in
+            :func:`~repro.scenarios.schema.spec_digest`).
+    """
+    if isinstance(spec, ScenarioSpec):
+        if scale is not None or seed is not None:
+            spec = validate_spec(canonical_spec(spec), scale=scale, seed=seed)
+    else:
+        spec = validate_spec(spec, scale=scale, seed=seed)
+
+    params = TraceParams(scale=spec.scale, seed=spec.seed,
+                         warps_per_cta=spec.warps_per_cta)
+    num_ctas = params.scaled(spec.base_ctas)
+
+    allocator = RegionAllocator()
+    regions = {name: allocator.region() for name in spec.regions}
+
+    name_seed = zlib.crc32(spec.name.encode()) & 0xFFFF
+    phase_plan = [(i, PRIMITIVES[p.primitive], p) for i, p in
+                  enumerate(spec.phases)]
+
+    ctas = []
+    for cta_id in range(num_ctas):
+        warps = []
+        for warp_id in range(spec.warps_per_cta):
+            program = []
+            for phase_index, prim, phase in phase_plan:
+                rng = random.Random(
+                    name_seed * 1_000_003
+                    + spec.seed * 7919
+                    + phase_index * _PHASE_SEED_STRIDE
+                    + cta_id * 131
+                    + warp_id
+                )
+                ctx = WarpContext(cta_id, warp_id, spec.warps_per_cta,
+                                  num_ctas, regions, rng)
+                for _ in range(phase.repeat):
+                    program.extend(prim.emit(ctx, phase.params))
+                    if phase.barrier_after:
+                        program.append(bar())
+            warps.append(program)
+        ctas.append(CTATrace(warps=warps))
+
+    if spec.meta is not None:
+        meta = dict(spec.meta)
+    else:
+        meta = {
+            "scenario": spec.name,
+            "spec_digest": spec_digest(spec),
+            "scale": spec.scale,
+            "seed": spec.seed,
+        }
+
+    trace = KernelTrace(
+        name=spec.name,
+        ctas=ctas,
+        scratchpad_per_cta=spec.scratchpad_per_cta,
+        meta=meta,
+    )
+    trace.validate()
+    return trace

@@ -1,0 +1,415 @@
+"""Scenario primitives: the registered building blocks of workloads.
+
+Each primitive turns a validated parameter dict into one warp's
+instruction stream for one phase.  The registry follows the repo's
+design-registry idiom (:mod:`repro.sim.designs`): primitives register by
+name, the schema validates against their declared :class:`Field` tables,
+and a new primitive is drop-in — register it and it is immediately
+usable from JSON specs, the sweep generator, the CLI and (because the
+trace-invariant property harness iterates the registry) automatically
+held to the same invariant contract as the built-ins:
+
+* deterministic given ``(spec, seed)``,
+* every address line-aligned and inside the primitive's declared region,
+* at most 32 lane addresses per memory op,
+* identical op-kind structure across the warps of a CTA (barrier counts
+  must line up or the CTA deadlocks).
+
+Built-in primitives:
+
+``stream``
+    Coalesced streaming with a per-element op *body* — a mini-language
+    of load/store/atom/alu/smem/bar steps with index stride/offset and
+    fixed line offsets.  Expressive enough to re-express several Table-1
+    generators byte-identically (see :mod:`repro.scenarios.table1`).
+``working_set``
+    Deterministic cyclic scan over a warp/CTA/global tile: the exact
+    reuse-distance knob (tile_lines) and sharing-scope knob.
+``hot_table``
+    Popularity-skewed random gathers with a divergence (lanes) knob.
+``divergent_stream``
+    Zero-reuse streaming that touches ``lanes`` distinct lines per
+    access — the uncoalesced-stream pattern.
+``pointer_chase``
+    Serial dependent random loads: a pure latency probe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Type
+
+from repro.trace.errors import SpecError
+from repro.trace.generators.base import LINE, RegionAllocator
+from repro.trace.trace import (
+    OP_ALU,
+    OP_ATOM,
+    OP_BAR,
+    OP_LOAD,
+    OP_SMEM,
+    OP_STORE,
+    WarpTrace,
+)
+
+from repro.scenarios.schema import MEM_STEP_KINDS, Field
+
+__all__ = [
+    "LINES_PER_REGION",
+    "PRIMITIVES",
+    "Primitive",
+    "WarpContext",
+    "register_primitive",
+]
+
+#: 1 GiB regions of 128-byte lines.
+LINES_PER_REGION = RegionAllocator.REGION_BYTES // LINE
+
+
+class WarpContext:
+    """Everything a primitive needs to emit one warp's phase segment.
+
+    Address helpers mirror :class:`~repro.trace.generators.base.
+    BenchmarkGenerator` (same streaming layout, same skewed-index
+    distribution) and always reduce line indices modulo the region size,
+    so *every* parameter combination keeps addresses inside the declared
+    region — the region-disjointness invariant holds by construction.
+    """
+
+    __slots__ = ("cta_id", "warp_id", "warps_per_cta", "num_ctas",
+                 "regions", "rng")
+
+    def __init__(self, cta_id: int, warp_id: int, warps_per_cta: int,
+                 num_ctas: int, regions: Mapping[str, int],
+                 rng: random.Random) -> None:
+        self.cta_id = cta_id
+        self.warp_id = warp_id
+        self.warps_per_cta = warps_per_cta
+        self.num_ctas = num_ctas
+        self.regions = regions
+        self.rng = rng
+
+    @property
+    def warp_index(self) -> int:
+        """Grid-global warp index (CTA-major)."""
+        return self.cta_id * self.warps_per_cta + self.warp_id
+
+    def line_addr(self, region: str, line_index: int) -> int:
+        """Byte address of ``line_index`` within ``region`` (wrapped)."""
+        return self.regions[region] + (line_index % LINES_PER_REGION) * LINE
+
+    def stream_addr(self, region: str, iteration: int,
+                    iters_per_warp: int) -> int:
+        """Streaming address with the coalesced-kernel layout
+        (iteration-major within a CTA block; adjacent warps fetch
+        adjacent lines — see ``BenchmarkGenerator.stream_addr``)."""
+        line = (self.cta_id * self.warps_per_cta * iters_per_warp
+                + iteration * self.warps_per_cta + self.warp_id)
+        return self.line_addr(region, line)
+
+    def skewed_index(self, n: int, skew: float) -> int:
+        """Popularity-skewed index in [0, n); ``skew == 1`` is uniform."""
+        return min(n - 1, int(n * (self.rng.random() ** skew)))
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class Primitive:
+    """Base class: one subclass per registered scenario primitive.
+
+    Subclasses declare ``name``, a one-line ``doc`` and a ``PARAMS``
+    field table, and implement :meth:`emit`.
+    """
+
+    name: str = "?"
+    doc: str = ""
+    PARAMS: Dict[str, Field] = {}
+
+    @classmethod
+    def validate_params(cls, params: Mapping[str, Any], path: str,
+                        regions: Sequence[str]) -> Dict[str, Any]:
+        """Validate a raw params object against :attr:`PARAMS`.
+
+        Fills defaults and rejects unknown keys; SpecError paths extend
+        ``path`` (``phases[i].params.<field>``).
+        """
+        unknown = set(params) - set(cls.PARAMS)
+        if unknown:
+            raise SpecError(
+                f"{path}.{sorted(unknown)[0]}",
+                f"unknown parameter for primitive {cls.name!r}; known: "
+                f"{sorted(cls.PARAMS)}")
+        out: Dict[str, Any] = {}
+        for fname, fld in cls.PARAMS.items():
+            if fname in params:
+                out[fname] = fld.check(params[fname], f"{path}.{fname}",
+                                       regions)
+            elif fld.required:
+                raise SpecError(f"{path}.{fname}",
+                                f"required by primitive {cls.name!r}")
+            else:
+                out[fname] = fld.default
+        return cls.finalize_params(out, path)
+
+    @classmethod
+    def finalize_params(cls, params: Dict[str, Any],
+                        path: str) -> Dict[str, Any]:
+        """Hook for cross-field checks / derived defaults (override)."""
+        return params
+
+    @classmethod
+    def emit(cls, ctx: WarpContext, params: Mapping[str, Any]) -> WarpTrace:
+        """Emit this warp's instruction segment for one phase."""
+        raise NotImplementedError
+
+
+PRIMITIVES: Dict[str, Type[Primitive]] = {}
+
+
+def register_primitive(cls: Type[Primitive]) -> Type[Primitive]:
+    """Class decorator: add a primitive to the registry (drop-in point).
+
+    Raises ``ValueError`` on name collisions so two plugins can never
+    silently shadow each other.
+    """
+    if not cls.name or cls.name == "?":
+        raise ValueError(f"primitive {cls.__name__} needs a name")
+    if cls.name in PRIMITIVES:
+        raise ValueError(f"primitive {cls.name!r} already registered "
+                         f"({PRIMITIVES[cls.name].__name__})")
+    PRIMITIVES[cls.name] = cls
+    return cls
+
+
+def _scope_base(ctx: WarpContext, scope: str, tile_lines: int) -> int:
+    """Starting line of a warp's tile under a sharing scope."""
+    if scope == "warp":
+        return ctx.warp_index * tile_lines
+    if scope == "cta":
+        return ctx.cta_id * tile_lines
+    return 0  # global: every CTA shares one tile
+
+
+# ----------------------------------------------------------------------
+# Built-ins
+# ----------------------------------------------------------------------
+@register_primitive
+class StreamPrimitive(Primitive):
+    """Coalesced streaming with a per-element op body."""
+
+    name = "stream"
+    doc = ("streaming sweep; per-element body of load/store/atom/alu/"
+           "smem/bar steps with index stride/offset and line offsets")
+    PARAMS = {
+        "elements_per_warp": Field("int", default=16, lo=1, hi=4096,
+                                   doc="body repetitions per warp"),
+        "iters_per_warp": Field("int", default=0, lo=0, hi=1 << 20,
+                                doc="stream layout length; 0 = derived as "
+                                    "elements_per_warp * max index_stride"),
+        "body": Field("steps", doc="per-element op sequence"),
+    }
+
+    @classmethod
+    def finalize_params(cls, params: Dict[str, Any],
+                        path: str) -> Dict[str, Any]:
+        if params["iters_per_warp"] == 0:
+            stride = max(
+                [s["index_stride"] for s in params["body"]
+                 if s["kind"] in MEM_STEP_KINDS] or [1])
+            params["iters_per_warp"] = params["elements_per_warp"] * max(
+                stride, 1)
+        return params
+
+    @classmethod
+    def emit(cls, ctx: WarpContext, params: Mapping[str, Any]) -> WarpTrace:
+        n = params["iters_per_warp"]
+        program: WarpTrace = []
+        opcodes = {"load": OP_LOAD, "store": OP_STORE, "atom": OP_ATOM}
+        for i in range(params["elements_per_warp"]):
+            for step in params["body"]:
+                kind = step["kind"]
+                if kind in opcodes:
+                    idx = step["index_stride"] * i + step["index_offset"]
+                    addr = ctx.stream_addr(step["region"], idx, n)
+                    addr += step["offset_lines"] * LINE
+                    base = ctx.regions[step["region"]]
+                    # Re-wrap after the fixed offset so stencil planes
+                    # can never escape the region.
+                    addr = base + (addr - base) % RegionAllocator.REGION_BYTES
+                    program.append((opcodes[kind], (addr,)))
+                elif kind == "alu":
+                    program.append((OP_ALU, step["count"]))
+                elif kind == "smem":
+                    program.append((OP_SMEM, step["count"]))
+                else:  # bar
+                    program.append((OP_BAR, 0))
+        return program
+
+
+@register_primitive
+class WorkingSetPrimitive(Primitive):
+    """Deterministic cyclic scan: the exact reuse-distance knob."""
+
+    name = "working_set"
+    doc = ("cyclic scan over a warp/CTA/global tile; tile_lines sets the "
+           "reuse distance, scope sets inter-CTA sharing")
+    PARAMS = {
+        "region": Field("region", doc="region holding the tile(s)"),
+        "tile_lines": Field("int", default=320, lo=1, hi=1 << 20,
+                            doc="tile footprint in lines"),
+        "reads": Field("int", default=48, lo=1, hi=4096,
+                       doc="scan reads per warp"),
+        "alu_per_read": Field("int", default=2, lo=0, hi=64),
+        "stride": Field("int", default=1, lo=1, hi=1024,
+                        doc="cursor advance per read"),
+        "phase_stride": Field("int", default=37, lo=0, hi=1024,
+                              doc="per-warp starting-phase multiplier"),
+        "scope": Field("choice", default="global",
+                       choices=("warp", "cta", "global"),
+                       doc="tile sharing: private per warp/CTA or global"),
+        "store_every": Field("int", default=0, lo=0, hi=256,
+                             doc="write back every k-th read (0 = never)"),
+    }
+
+    @classmethod
+    def emit(cls, ctx: WarpContext, params: Mapping[str, Any]) -> WarpTrace:
+        tile = params["tile_lines"]
+        base = _scope_base(ctx, params["scope"], tile)
+        cursor = (ctx.warp_index * params["phase_stride"]) % tile
+        region = params["region"]
+        alu_n = params["alu_per_read"]
+        store_every = params["store_every"]
+        program: WarpTrace = []
+        for r in range(params["reads"]):
+            addr = ctx.line_addr(region, base + cursor)
+            program.append((OP_LOAD, (addr,)))
+            if alu_n:
+                program.append((OP_ALU, alu_n))
+            if store_every and (r + 1) % store_every == 0:
+                program.append((OP_STORE, (addr,)))
+            cursor = (cursor + params["stride"]) % tile
+        return program
+
+
+@register_primitive
+class HotTablePrimitive(Primitive):
+    """Popularity-skewed random gathers (divergence + sharing knobs)."""
+
+    name = "hot_table"
+    doc = ("skewed random gathers over a table; lanes sets divergence, "
+           "skew sets the hot-head concentration, scope sets sharing")
+    PARAMS = {
+        "region": Field("region", doc="region holding the table(s)"),
+        "accesses_per_warp": Field("int", default=32, lo=1, hi=4096),
+        "table_lines": Field("int", default=256, lo=1, hi=1 << 20,
+                             doc="table footprint in lines"),
+        "skew": Field("float", default=1.0, lo=1.0, hi=16.0,
+                      doc="1 = uniform; 3-6 = hot-head"),
+        "lanes": Field("int", default=1, lo=1, hi=32,
+                       doc="lane addresses per gather (divergence)"),
+        "alu_per_access": Field("int", default=2, lo=0, hi=64),
+        "store_every": Field("int", default=0, lo=0, hi=256,
+                             doc="write back every k-th gather (0 = never)"),
+        "scope": Field("choice", default="global",
+                       choices=("warp", "cta", "global")),
+    }
+
+    @classmethod
+    def emit(cls, ctx: WarpContext, params: Mapping[str, Any]) -> WarpTrace:
+        table = params["table_lines"]
+        base = _scope_base(ctx, params["scope"], table)
+        region = params["region"]
+        skew = params["skew"]
+        alu_n = params["alu_per_access"]
+        store_every = params["store_every"]
+        program: WarpTrace = []
+        for a in range(params["accesses_per_warp"]):
+            lanes = tuple(
+                ctx.line_addr(region, base + ctx.skewed_index(table, skew))
+                for _ in range(params["lanes"])
+            )
+            program.append((OP_LOAD, lanes))
+            if alu_n:
+                program.append((OP_ALU, alu_n))
+            if store_every and (a + 1) % store_every == 0:
+                program.append((OP_STORE, (lanes[0],)))
+        return program
+
+
+@register_primitive
+class DivergentStreamPrimitive(Primitive):
+    """Zero-reuse streaming, ``lanes`` distinct lines per access."""
+
+    name = "divergent_stream"
+    doc = ("uncoalesced streaming: each access touches lanes distinct "
+           "lines; the coalescing-behaviour knob")
+    PARAMS = {
+        "region": Field("region", doc="region streamed through"),
+        "out_region": Field("str", default="",
+                            doc="optional region for a coalesced "
+                                "write-back per element ('' = none)"),
+        "elements_per_warp": Field("int", default=16, lo=1, hi=4096),
+        "lanes": Field("int", default=8, lo=1, hi=32),
+        "lane_stride_lines": Field("int", default=1, lo=1, hi=1024,
+                                   doc="gap between lane lines"),
+        "alu_per_element": Field("int", default=4, lo=0, hi=64),
+    }
+
+    @classmethod
+    def validate_params(cls, params: Mapping[str, Any], path: str,
+                        regions: Sequence[str]) -> Dict[str, Any]:
+        out = super().validate_params(params, path, regions)
+        if out["out_region"] and out["out_region"] not in regions:
+            raise SpecError(f"{path}.out_region",
+                            f"unknown region {out['out_region']!r}; "
+                            f"declared regions: {list(regions)}")
+        return out
+
+    @classmethod
+    def emit(cls, ctx: WarpContext, params: Mapping[str, Any]) -> WarpTrace:
+        n = params["elements_per_warp"]
+        lanes = params["lanes"]
+        stride = params["lane_stride_lines"]
+        span = lanes * stride
+        region = params["region"]
+        alu_n = params["alu_per_element"]
+        program: WarpTrace = []
+        for i in range(n):
+            line0 = (ctx.warp_index * n + i) * span
+            program.append((OP_LOAD, tuple(
+                ctx.line_addr(region, line0 + j * stride)
+                for j in range(lanes))))
+            if alu_n:
+                program.append((OP_ALU, alu_n))
+            if params["out_region"]:
+                program.append((OP_STORE, (
+                    ctx.stream_addr(params["out_region"], i, n),)))
+        return program
+
+
+@register_primitive
+class PointerChasePrimitive(Primitive):
+    """Serial dependent random loads: a pure latency probe."""
+
+    name = "pointer_chase"
+    doc = "dependent random loads over a pool; one outstanding miss per warp"
+    PARAMS = {
+        "region": Field("region", doc="region holding the pool"),
+        "chain_length": Field("int", default=24, lo=1, hi=4096),
+        "pool_lines": Field("int", default=1 << 18, lo=1, hi=1 << 22,
+                            doc="pool footprint in lines"),
+        "alu_per_hop": Field("int", default=1, lo=0, hi=64),
+    }
+
+    @classmethod
+    def emit(cls, ctx: WarpContext, params: Mapping[str, Any]) -> WarpTrace:
+        region = params["region"]
+        pool = params["pool_lines"]
+        alu_n = params["alu_per_hop"]
+        program: WarpTrace = []
+        for _ in range(params["chain_length"]):
+            program.append((OP_LOAD,
+                            (ctx.line_addr(region, ctx.rng.randrange(pool)),)))
+            if alu_n:
+                program.append((OP_ALU, alu_n))
+        return program

@@ -1,0 +1,471 @@
+"""Scenario spec schema: versioned, typed validation with field paths.
+
+A scenario spec is a plain JSON/dict document describing a synthetic
+workload declaratively::
+
+    {
+      "format": "repro-scenario",
+      "version": 1,
+      "name": "ws320-stream",
+      "scale": 1.0,
+      "seed": 0,
+      "base_ctas": 64,
+      "warps_per_cta": 8,
+      "scratchpad_per_cta": 0,
+      "regions": ["stream", "table"],
+      "phases": [
+        {"primitive": "stream", "params": {...}},
+        {"primitive": "working_set", "repeat": 2, "barrier_after": true,
+         "params": {...}}
+      ]
+    }
+
+Validation is strict and typed: every failure raises
+:class:`~repro.trace.errors.SpecError` carrying the dotted path of the
+offending field (``phases[1].params.tile_lines``), so errors from a
+200-workload sweep point at the exact knob.  Primitive parameters are
+validated against the primitive's declared :class:`Field` table
+(see :mod:`repro.scenarios.primitives`), which is also what makes new
+primitives drop-in: registering one automatically extends the schema.
+
+Canonicalization (:func:`canonical_spec`) fills every default and sorts
+keys, so two specs that mean the same workload serialize to the same
+bytes; :func:`spec_digest` hashes that form, giving campaign tasks
+content-addressed cache keys derived from the spec itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.trace.errors import SpecError
+from repro.trace.generators.base import validate_workload_params
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "Field",
+    "PhaseSpec",
+    "ScenarioSpec",
+    "SpecError",
+    "canonical_spec",
+    "load_spec",
+    "loads_spec",
+    "spec_digest",
+    "validate_spec",
+]
+
+FORMAT_NAME = "repro-scenario"
+FORMAT_VERSION = 1
+
+#: Marker for fields with no default (must be present in the document).
+_REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Field:
+    """One typed parameter slot in a primitive's (or step's) schema.
+
+    Attributes:
+        kind: ``"int"``, ``"float"``, ``"str"``, ``"bool"``, ``"choice"``,
+            ``"region"`` (a name that must be declared in the spec's
+            ``regions`` list) or ``"steps"`` (the stream primitive's
+            per-element op list).
+        default: Value used when the document omits the field;
+            omit to make the field required.
+        lo / hi: Inclusive numeric bounds for int/float fields.
+        choices: Allowed values for ``choice`` fields.
+        doc: One-line description (rendered by ``repro scenario primitives``).
+    """
+
+    kind: str
+    default: Any = _REQUIRED
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    choices: Optional[Tuple[str, ...]] = None
+    doc: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is _REQUIRED
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(self, value: Any, path: str,
+              regions: Sequence[str] = ()) -> Any:
+        """Validate ``value``; returns it (normalized) or raises SpecError."""
+        if self.kind == "int":
+            return _check_int(value, path, self.lo, self.hi)
+        if self.kind == "float":
+            return _check_float(value, path, self.lo, self.hi)
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise SpecError(path,
+                                f"expected a bool, got {type(value).__name__}")
+            return value
+        if self.kind == "str":
+            if not isinstance(value, str):
+                raise SpecError(path,
+                                f"expected a string, got {type(value).__name__}")
+            return value
+        if self.kind == "choice":
+            if value not in (self.choices or ()):
+                raise SpecError(
+                    path, f"expected one of {list(self.choices or ())}, "
+                          f"got {value!r}")
+            return value
+        if self.kind == "region":
+            if not isinstance(value, str):
+                raise SpecError(path,
+                                f"expected a region name, got {type(value).__name__}")
+            if value not in regions:
+                raise SpecError(
+                    path, f"unknown region {value!r}; declared regions: "
+                          f"{list(regions)}")
+            return value
+        if self.kind == "steps":
+            return _check_steps(value, path, regions)
+        raise SpecError(path, f"internal: unknown field kind {self.kind!r}")
+
+
+def _check_int(value: Any, path: str,
+               lo: Optional[float], hi: Optional[float]) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(path, f"expected an int, got {type(value).__name__}")
+    if lo is not None and value < lo:
+        raise SpecError(path, f"expected >= {int(lo)}, got {value}")
+    if hi is not None and value > hi:
+        raise SpecError(path, f"expected <= {int(hi)}, got {value}")
+    return value
+
+
+def _check_float(value: Any, path: str,
+                 lo: Optional[float], hi: Optional[float]) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(path, f"expected a number, got {type(value).__name__}")
+    value = float(value)
+    if value != value:  # NaN
+        raise SpecError(path, "expected a finite number, got nan")
+    if lo is not None and value < lo:
+        raise SpecError(path, f"expected >= {lo}, got {value}")
+    if hi is not None and value > hi:
+        raise SpecError(path, f"expected <= {hi}, got {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Stream-step sub-schema (the `stream` primitive's per-element op list)
+# ----------------------------------------------------------------------
+
+#: Per-kind field tables for stream body steps.  Exposed as data so the
+#: property-test harness can derive Hypothesis strategies and the CLI
+#: can render reference docs without hard-coding the sub-schema.
+STEP_FIELDS: Dict[str, Dict[str, Field]] = {
+    "load": {
+        "region": Field("region", doc="region the load streams through"),
+        "index_stride": Field("int", default=1, lo=0, hi=64,
+                              doc="element-index multiplier"),
+        "index_offset": Field("int", default=0, lo=0, hi=64,
+                              doc="element-index addend"),
+        "offset_lines": Field("int", default=0, lo=0, hi=1 << 22,
+                              doc="fixed line offset (stencil planes)"),
+    },
+    "store": {
+        "region": Field("region", doc="region the store streams through"),
+        "index_stride": Field("int", default=1, lo=0, hi=64),
+        "index_offset": Field("int", default=0, lo=0, hi=64),
+        "offset_lines": Field("int", default=0, lo=0, hi=1 << 22),
+    },
+    "atom": {
+        "region": Field("region", doc="region the atomic targets"),
+        "index_stride": Field("int", default=1, lo=0, hi=64),
+        "index_offset": Field("int", default=0, lo=0, hi=64),
+        "offset_lines": Field("int", default=0, lo=0, hi=1 << 22),
+    },
+    "alu": {
+        "count": Field("int", default=1, lo=1, hi=4096,
+                       doc="back-to-back arithmetic instructions"),
+    },
+    "smem": {
+        "count": Field("int", default=1, lo=1, hi=4096,
+                       doc="scratchpad accesses"),
+    },
+    "bar": {},
+}
+
+#: Step kinds that address memory (need a region and index fields).
+MEM_STEP_KINDS = ("load", "store", "atom")
+
+
+def _check_steps(value: Any, path: str, regions: Sequence[str]) -> List[dict]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise SpecError(path, "expected a non-empty list of step objects")
+    steps: List[dict] = []
+    for i, raw in enumerate(value):
+        spath = f"{path}[{i}]"
+        if not isinstance(raw, Mapping):
+            raise SpecError(spath,
+                            f"expected an object, got {type(raw).__name__}")
+        kind = raw.get("kind")
+        if kind not in STEP_FIELDS:
+            raise SpecError(f"{spath}.kind",
+                            f"expected one of {list(STEP_FIELDS)}, got {kind!r}")
+        fields = STEP_FIELDS[kind]
+        unknown = set(raw) - set(fields) - {"kind"}
+        if unknown:
+            raise SpecError(
+                f"{spath}.{sorted(unknown)[0]}",
+                f"unknown field for a {kind!r} step; known: "
+                f"{sorted(fields) or '(none)'}")
+        step = {"kind": kind}
+        for fname, fld in fields.items():
+            if fname in raw:
+                step[fname] = fld.check(raw[fname], f"{spath}.{fname}", regions)
+            elif fld.required:
+                raise SpecError(f"{spath}.{fname}",
+                                f"required for a {kind!r} step")
+            else:
+                step[fname] = fld.default
+        steps.append(step)
+    return steps
+
+
+# ----------------------------------------------------------------------
+# Spec objects
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One validated phase: a primitive plus its (default-filled) params."""
+
+    primitive: str
+    repeat: int
+    barrier_after: bool
+    params: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully validated scenario document (defaults filled)."""
+
+    name: str
+    scale: float
+    seed: int
+    base_ctas: int
+    warps_per_cta: int
+    scratchpad_per_cta: int
+    regions: Tuple[str, ...]
+    phases: Tuple[PhaseSpec, ...]
+    meta: Optional[Mapping[str, Any]] = None
+
+
+_NAME_MAX = 96
+
+
+def validate_spec(doc: Mapping[str, Any], *,
+                  scale: Optional[float] = None,
+                  seed: Optional[int] = None) -> ScenarioSpec:
+    """Validate a scenario document into a :class:`ScenarioSpec`.
+
+    Args:
+        doc: The parsed JSON/dict document.
+        scale / seed: Optional overrides applied *before* validation —
+            how sweeps and campaign tasks rescale a spec without editing
+            the document.
+
+    Raises:
+        SpecError: With the dotted path of the first offending field.
+    """
+    if not isinstance(doc, Mapping):
+        raise SpecError("$", f"expected an object, got {type(doc).__name__}")
+    if doc.get("format") != FORMAT_NAME:
+        raise SpecError("format",
+                        f"expected {FORMAT_NAME!r}, got {doc.get('format')!r}")
+    if doc.get("version") != FORMAT_VERSION:
+        raise SpecError(
+            "version",
+            f"unsupported scenario version {doc.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+
+    known = {"format", "version", "name", "scale", "seed", "base_ctas",
+             "warps_per_cta", "scratchpad_per_cta", "regions", "phases",
+             "meta"}
+    unknown = set(doc) - known
+    if unknown:
+        raise SpecError(sorted(unknown)[0],
+                        f"unknown spec field; known: {sorted(known)}")
+
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise SpecError("name", "expected a non-empty string")
+    if len(name) > _NAME_MAX:
+        raise SpecError("name", f"expected <= {_NAME_MAX} characters")
+
+    spec_scale = scale if scale is not None else doc.get("scale", 1.0)
+    spec_seed = seed if seed is not None else doc.get("seed", 0)
+    warps_per_cta = doc.get("warps_per_cta", 8)
+    # Same typed validation (and the same SpecError) the generator
+    # framework applies to TraceParams.
+    validate_workload_params(spec_scale, spec_seed, warps_per_cta, path="$")
+    spec_scale = float(spec_scale)
+
+    base_ctas = _check_int(doc.get("base_ctas", 64), "base_ctas", 1, 1 << 16)
+    scratchpad = _check_int(doc.get("scratchpad_per_cta", 0),
+                            "scratchpad_per_cta", 0, 1 << 20)
+
+    regions_doc = doc.get("regions")
+    if not isinstance(regions_doc, (list, tuple)) or not regions_doc:
+        raise SpecError("regions", "expected a non-empty list of region names")
+    regions: List[str] = []
+    for i, rname in enumerate(regions_doc):
+        if not isinstance(rname, str) or not rname:
+            raise SpecError(f"regions[{i}]", "expected a non-empty string")
+        if rname in regions:
+            raise SpecError(f"regions[{i}]", f"duplicate region {rname!r}")
+        regions.append(rname)
+    if len(regions) > 64:
+        raise SpecError("regions", "expected at most 64 regions")
+
+    meta = doc.get("meta")
+    if meta is not None and not isinstance(meta, Mapping):
+        raise SpecError("meta",
+                        f"expected an object, got {type(meta).__name__}")
+
+    phases_doc = doc.get("phases")
+    if not isinstance(phases_doc, (list, tuple)) or not phases_doc:
+        raise SpecError("phases", "expected a non-empty list of phase objects")
+    if len(phases_doc) > 64:
+        raise SpecError("phases", "expected at most 64 phases")
+
+    from repro.scenarios.primitives import PRIMITIVES  # late: avoid cycle
+
+    phases: List[PhaseSpec] = []
+    for i, raw in enumerate(phases_doc):
+        ppath = f"phases[{i}]"
+        if not isinstance(raw, Mapping):
+            raise SpecError(ppath,
+                            f"expected an object, got {type(raw).__name__}")
+        unknown = set(raw) - {"primitive", "repeat", "barrier_after", "params"}
+        if unknown:
+            raise SpecError(f"{ppath}.{sorted(unknown)[0]}",
+                            "unknown phase field; known: ['primitive', "
+                            "'repeat', 'barrier_after', 'params']")
+        prim_name = raw.get("primitive")
+        if prim_name not in PRIMITIVES:
+            raise SpecError(
+                f"{ppath}.primitive",
+                f"unknown primitive {prim_name!r}; registered: "
+                f"{sorted(PRIMITIVES)}")
+        repeat = _check_int(raw.get("repeat", 1), f"{ppath}.repeat", 1, 64)
+        barrier_after = raw.get("barrier_after", False)
+        if not isinstance(barrier_after, bool):
+            raise SpecError(f"{ppath}.barrier_after",
+                            f"expected a bool, got "
+                            f"{type(barrier_after).__name__}")
+        params_doc = raw.get("params", {})
+        if not isinstance(params_doc, Mapping):
+            raise SpecError(f"{ppath}.params",
+                            f"expected an object, got "
+                            f"{type(params_doc).__name__}")
+        params = PRIMITIVES[prim_name].validate_params(
+            params_doc, f"{ppath}.params", regions)
+        phases.append(PhaseSpec(primitive=prim_name, repeat=repeat,
+                                barrier_after=barrier_after, params=params))
+
+    return ScenarioSpec(
+        name=name,
+        scale=spec_scale,
+        seed=spec_seed,
+        base_ctas=base_ctas,
+        warps_per_cta=warps_per_cta,
+        scratchpad_per_cta=scratchpad,
+        regions=tuple(regions),
+        phases=tuple(phases),
+        meta=dict(meta) if meta is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical form and content addressing
+# ----------------------------------------------------------------------
+def canonical_spec(spec: Union[Mapping[str, Any], ScenarioSpec], *,
+                   scale: Optional[float] = None,
+                   seed: Optional[int] = None) -> Dict[str, Any]:
+    """The default-filled, order-independent form of a spec.
+
+    Two documents that validate to the same workload canonicalize to
+    the same dict (and therefore the same :func:`spec_digest`),
+    regardless of key order or omitted defaults.
+    """
+    if not isinstance(spec, ScenarioSpec):
+        spec = validate_spec(spec, scale=scale, seed=seed)
+    elif scale is not None or seed is not None:
+        spec = validate_spec(canonical_spec(spec), scale=scale, seed=seed)
+    doc: Dict[str, Any] = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": spec.name,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "base_ctas": spec.base_ctas,
+        "warps_per_cta": spec.warps_per_cta,
+        "scratchpad_per_cta": spec.scratchpad_per_cta,
+        "regions": list(spec.regions),
+        "phases": [
+            {
+                "primitive": p.primitive,
+                "repeat": p.repeat,
+                "barrier_after": p.barrier_after,
+                "params": _plain(p.params),
+            }
+            for p in spec.phases
+        ],
+    }
+    if spec.meta is not None:
+        doc["meta"] = _plain(spec.meta)
+    return doc
+
+
+def _plain(value: Any) -> Any:
+    """Deep-copy to plain JSON types (dicts/lists/scalars)."""
+    if isinstance(value, Mapping):
+        return {k: _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def spec_digest(spec: Union[Mapping[str, Any], ScenarioSpec], *,
+                scale: Optional[float] = None,
+                seed: Optional[int] = None) -> str:
+    """SHA-256 of the canonical spec — the content-addressed identity
+    campaign tasks key their cache entries by."""
+    blob = json.dumps(canonical_spec(spec, scale=scale, seed=seed),
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Document I/O
+# ----------------------------------------------------------------------
+def loads_spec(text: str, *, source: str = "<string>") -> ScenarioSpec:
+    """Parse and validate a scenario spec from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(source, f"not valid JSON: {exc}") from None
+    return validate_spec(doc)
+
+
+def load_spec(path: Union[str, Path]) -> ScenarioSpec:
+    """Read and validate a scenario spec file (JSON)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError(str(path), f"cannot read spec: {exc}") from None
+    return loads_spec(text, source=str(path))

@@ -1,0 +1,326 @@
+"""Generative workload space + the "where does G-Cache win?" sweep.
+
+:func:`generate_space` enumerates a factorial space of scenario specs —
+reuse distance (working-set tile size) x sharing scope x streaming
+dilution x divergence x popularity skew, ~240 workloads — each a
+composite of the registered primitives with its axis coordinates
+recorded in ``meta``.  :func:`run_scenario_sweep` pushes the space
+through the campaign engine on the **functional** fidelity (exact cache
+counters, ~10x faster than timing) for a set of designs, classifies
+every workload as a G-Cache win / loss / draw against the baseline, and
+renders a byte-stable markdown report grouped by axis.
+
+Determinism story: workloads are content-addressed (the task cache key
+is the spec digest), and :meth:`SweepResult.manifest_json` contains only
+spec digests and counter-derived numbers — no wall-clock — so two runs
+of the same sweep produce bit-identical manifests and reports (the CI
+``scenario-smoke`` job ``cmp``'s them).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.config import GPUConfig
+from repro.stats.report import Table, geomean
+
+from repro.scenarios.schema import FORMAT_NAME, FORMAT_VERSION, spec_digest
+
+__all__ = [
+    "SPACE_AXES",
+    "SweepResult",
+    "WorkloadOutcome",
+    "generate_space",
+    "run_scenario_sweep",
+]
+
+#: Axis values of the generative space (recorded per-spec in ``meta``).
+SPACE_AXES: Dict[str, Tuple[Any, ...]] = {
+    "tile_lines": (64, 160, 320, 640, 1280),
+    "scope": ("warp", "cta", "global"),
+    "stream_elems": (0, 8, 32, 96),
+    "lanes": (1, 8),
+    "skew": (1.0, 4.0),
+}
+
+#: IPC ratio beyond which a workload counts as a win / below as a loss.
+WIN_THRESHOLD = 1.02
+LOSS_THRESHOLD = 0.98
+
+
+def _space_spec(tile_lines: int, scope: str, stream_elems: int,
+                lanes: int, skew: float) -> Dict[str, Any]:
+    """One composite workload at a point of the factorial space."""
+    name = (f"ws{tile_lines}-{scope}-st{stream_elems}"
+            f"-l{lanes}-k{int(skew)}")
+    phases: List[Dict[str, Any]] = [
+        {
+            "primitive": "working_set",
+            "params": {
+                "region": "tiles",
+                "tile_lines": tile_lines,
+                # Long enough for adaptive designs to learn the reuse
+                # pattern and re-traverse the tile several times; with
+                # few reads every design looks identical (cold misses
+                # dominate, nothing to protect yet).
+                "reads": 96,
+                "scope": scope,
+                "alu_per_read": 2,
+                "store_every": 8,
+            },
+        },
+        {
+            "primitive": "hot_table",
+            "params": {
+                "region": "table",
+                "accesses_per_warp": 24,
+                "table_lines": 192,
+                "skew": skew,
+                "lanes": lanes,
+                "alu_per_access": 2,
+                "scope": "global",
+            },
+        },
+    ]
+    if stream_elems:
+        phases.append({
+            "primitive": "stream",
+            "params": {
+                "elements_per_warp": stream_elems,
+                "body": [
+                    {"kind": "load", "region": "stream"},
+                    {"kind": "alu", "count": 4},
+                    {"kind": "store", "region": "stream_out"},
+                ],
+            },
+        })
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": name,
+        "scale": 1.0,
+        "seed": 0,
+        # 96 CTAs = 6 resident CTAs per core (Table-2 config): the
+        # occupancy regime where L1 contention — and therefore the
+        # win/loss contrast between designs — actually develops.
+        "base_ctas": 96,
+        "warps_per_cta": 8,
+        "regions": ["tiles", "table", "stream", "stream_out"],
+        "phases": phases,
+        "meta": {
+            "space": "gcache-axes-v1",
+            "tile_lines": tile_lines,
+            "scope": scope,
+            "stream_elems": stream_elems,
+            "lanes": lanes,
+            "skew": skew,
+        },
+    }
+
+
+def generate_space(limit: Optional[int] = None) -> List[Dict[str, Any]]:
+    """The factorial scenario space (~240 specs), in deterministic order.
+
+    Args:
+        limit: Truncate to the first N specs — CI smoke runs and unit
+            tests use small prefixes of the same deterministic order.
+    """
+    specs = [
+        _space_spec(tile, scope, elems, lanes, skew)
+        for tile in SPACE_AXES["tile_lines"]
+        for scope in SPACE_AXES["scope"]
+        for elems in SPACE_AXES["stream_elems"]
+        for lanes in SPACE_AXES["lanes"]
+        for skew in SPACE_AXES["skew"]
+    ]
+    return specs[:limit] if limit is not None else specs
+
+
+@dataclass
+class WorkloadOutcome:
+    """One workload's sweep outcome across the design set."""
+
+    name: str
+    digest: str
+    meta: Dict[str, Any]
+    #: design key -> {"ipc", "instructions", "cycles", "l1": snapshot}
+    designs: Dict[str, Dict[str, Any]]
+
+    def speedup(self, design: str, baseline: str = "bs") -> float:
+        return self.designs[design]["ipc"] / self.designs[baseline]["ipc"]
+
+    def verdict(self, design: str = "gc", baseline: str = "bs") -> str:
+        s = self.speedup(design, baseline)
+        if s > WIN_THRESHOLD:
+            return "win"
+        if s < LOSS_THRESHOLD:
+            return "loss"
+        return "draw"
+
+
+@dataclass
+class SweepResult:
+    """Everything a scenario sweep produced, in deterministic order."""
+
+    designs: Tuple[str, ...]
+    outcomes: List[WorkloadOutcome]
+
+    def counts(self, design: str = "gc") -> Dict[str, int]:
+        out = {"win": 0, "draw": 0, "loss": 0}
+        for o in self.outcomes:
+            out[o.verdict(design)] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Byte-stable artefacts
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict[str, Any]:
+        """Deterministic sweep manifest: digests and counters only.
+
+        Unlike the engine's campaign manifest (which records wall-clock
+        timings), this contains nothing host- or time-dependent, so two
+        runs of the same sweep serialize bit-identically.
+        """
+        return {
+            "format": "repro-scenario-sweep",
+            "version": 1,
+            "designs": list(self.designs),
+            "workloads": [
+                {
+                    "name": o.name,
+                    "spec_digest": o.digest,
+                    "meta": o.meta,
+                    "designs": o.designs,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def manifest_json(self) -> str:
+        return json.dumps(self.manifest(), sort_keys=True, indent=2) + "\n"
+
+    def report_markdown(self, design: str = "gc", baseline: str = "bs") -> str:
+        """The "where G-Cache wins / loses" report (byte-stable)."""
+        lines: List[str] = []
+        counts = self.counts(design)
+        total = len(self.outcomes)
+        speedups = [o.speedup(design) for o in self.outcomes]
+        lines.append(f"# Scenario sweep: {design} vs {baseline}")
+        lines.append("")
+        lines.append(
+            f"{total} workloads; {counts['win']} wins, {counts['draw']} "
+            f"draws, {counts['loss']} losses "
+            f"(win: IPC ratio > {WIN_THRESHOLD}, loss: < {LOSS_THRESHOLD}). "
+            f"Geomean speedup {geomean(speedups):.4f}.")
+        lines.append("")
+
+        # Per-axis marginals: where in the space the design helps.
+        lines.append("## Speedup by axis")
+        lines.append("")
+        axis_table = Table(["axis", "value", "workloads", "geomean speedup",
+                            "wins", "losses"])
+        for axis in sorted(SPACE_AXES):
+            for value in SPACE_AXES[axis]:
+                group = [o for o in self.outcomes
+                         if o.meta.get(axis) == value]
+                if not group:
+                    continue
+                gsp = geomean(o.speedup(design) for o in group)
+                wins = sum(1 for o in group if o.verdict(design) == "win")
+                losses = sum(1 for o in group if o.verdict(design) == "loss")
+                axis_table.row([axis, value, len(group), f"{gsp:.4f}",
+                                wins, losses])
+        lines.append(axis_table.to_markdown())
+        lines.append("")
+
+        # Extreme workloads, both directions.
+        ranked = sorted(self.outcomes,
+                        key=lambda o: (-o.speedup(design), o.name))
+        for title, sample in (("## Largest wins", ranked[:10]),
+                              ("## Largest losses", ranked[-10:][::-1])):
+            lines.append(title)
+            lines.append("")
+            t = Table(["workload", "speedup", f"{baseline} L1 miss",
+                       f"{design} L1 miss", f"{design} bypass ratio"])
+            for o in sample:
+                base_l1 = o.designs[baseline]["l1"]
+                des_l1 = o.designs[design]["l1"]
+                t.row([
+                    o.name,
+                    f"{o.speedup(design):.4f}",
+                    f"{base_l1['miss_rate']:.1%}",
+                    f"{des_l1['miss_rate']:.1%}",
+                    f"{des_l1['bypass_ratio']:.1%}",
+                ])
+            lines.append(t.to_markdown())
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_scenario_sweep(
+    specs: Optional[Sequence[Mapping[str, Any]]] = None,
+    *,
+    designs: Sequence[str] = ("bs", "gc"),
+    config: Optional[GPUConfig] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    engine: Any = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepResult:
+    """Run the scenario space through the functional backend.
+
+    Args:
+        specs: Spec documents; defaults to the full
+            :func:`generate_space`.
+        designs: Design keys to evaluate; the first entry is the
+            baseline the win/loss verdicts compare against.
+        scale / seed: Applied to every spec (content-addressed into the
+            cache keys).
+        engine: Share a pre-built :class:`~repro.runner.CampaignEngine`;
+            otherwise one is built from ``jobs``/``cache_dir``.
+    """
+    from repro.runner import CampaignEngine, ResultCache, Task
+    from repro.sim.designs import DESIGN_KEYS
+
+    unknown = [d for d in designs if d not in DESIGN_KEYS]
+    if unknown:
+        raise ValueError(
+            f"unknown designs {unknown}; known: {list(DESIGN_KEYS)}")
+    if specs is None:
+        specs = generate_space()
+    if engine is None:
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        engine = CampaignEngine(jobs=jobs, cache=cache)
+
+    docs = [dict(s) for s in specs]
+    tasks = [
+        Task(kind="simulate", scenario=doc, design=design,
+             scale=scale, seed=seed, fidelity="functional",
+             config=config if config is not None else GPUConfig())
+        for doc in docs
+        for design in designs
+    ]
+    results = engine.run(tasks)
+
+    outcomes: List[WorkloadOutcome] = []
+    it = iter(results)
+    for doc in docs:
+        per_design: Dict[str, Dict[str, Any]] = {}
+        for design in designs:
+            r = next(it)
+            per_design[design] = {
+                "ipc": r.ipc,
+                "instructions": r.instructions,
+                "cycles": r.cycles,
+                "l1": r.l1.snapshot(),
+            }
+        outcomes.append(WorkloadOutcome(
+            name=doc["name"],
+            digest=spec_digest(doc, scale=scale, seed=seed),
+            meta=dict(doc.get("meta") or {}),
+            designs=per_design,
+        ))
+    return SweepResult(designs=tuple(designs), outcomes=outcomes)

@@ -1,0 +1,167 @@
+"""Table-1 benchmarks re-expressed as declarative scenario specs.
+
+The differential anchor for the scenario layer: the four RNG-free
+Table-1 generators — SD1, STL, WP and FWT — are re-expressed here as
+``stream``-primitive specs that build **byte-identically** to the
+hand-written generators (``dumps_trace(build_scenario(spec)) ==
+dumps_trace(build_benchmark(name))``, asserted in
+``tests/test_scenarios.py``).  Any drift in the builder's address
+arithmetic, region allocation, scaling rule or meta handling breaks the
+pin, so the declarative layer can never silently diverge from the
+generators it generalizes.
+
+The specs also serve as worked examples of the per-element body
+mini-language: stencil planes via ``offset_lines`` (STL), multi-array
+field sweeps (WP), and strided butterfly pairs via ``index_stride`` /
+``index_offset`` (FWT).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+__all__ = ["TABLE1_BENCHMARKS", "table1_spec"]
+
+#: The RNG-free Table-1 benchmarks with exact declarative re-expressions.
+TABLE1_BENCHMARKS: Tuple[str, ...] = ("SD1", "STL", "WP", "FWT")
+
+
+def _meta(sensitivity: str, suite: str, description: str,
+          scale: float, seed: int) -> Dict[str, Any]:
+    # Key order matches BenchmarkGenerator.build()'s meta dict — JSON
+    # serialization preserves insertion order, and the byte-identity pin
+    # covers the serialized form.
+    return {
+        "sensitivity": sensitivity,
+        "suite": suite,
+        "description": description,
+        "scale": scale,
+        "seed": seed,
+    }
+
+
+def table1_spec(name: str, scale: float = 1.0,
+                seed: int = 0) -> Dict[str, Any]:
+    """The declarative spec document for one pinned Table-1 benchmark.
+
+    Returns a raw (unvalidated) spec dict — feed it to
+    :func:`~repro.scenarios.builder.build_scenario` or write it to disk
+    for the CLI.  ``scale``/``seed`` are baked into both the spec fields
+    and the meta block so the built trace matches
+    ``build_benchmark(name, scale, seed)`` byte for byte.
+    """
+    scale = float(scale)
+    base = {
+        "format": "repro-scenario",
+        "version": 1,
+        "name": name,
+        "scale": scale,
+        "seed": seed,
+        "base_ctas": 96,
+        "warps_per_cta": 8,
+    }
+
+    if name == "SD1":
+        # 1-D streaming diffusion: load -> 6 alu -> store, zero reuse.
+        return {
+            **base,
+            "regions": ["in", "out"],
+            "phases": [{
+                "primitive": "stream",
+                "params": {
+                    "elements_per_warp": 30,
+                    "body": [
+                        {"kind": "load", "region": "in"},
+                        {"kind": "alu", "count": 6},
+                        {"kind": "store", "region": "out"},
+                    ],
+                },
+            }],
+            "meta": _meta("insensitive", "Rodinia",
+                          "Graphic Diffusion (kernel 1)", scale, seed),
+        }
+
+    if name == "STL":
+        # 7-point stencil: +-plane neighbours are fixed line offsets off
+        # the centre stream (plane_lines = 1 << 16).
+        plane = 1 << 16
+        return {
+            **base,
+            "regions": ["grid", "out"],
+            "phases": [{
+                "primitive": "stream",
+                "params": {
+                    "elements_per_warp": 16,
+                    "body": [
+                        {"kind": "load", "region": "grid"},
+                        {"kind": "load", "region": "grid",
+                         "offset_lines": plane},
+                        {"kind": "load", "region": "grid",
+                         "offset_lines": 2 * plane},
+                        {"kind": "alu", "count": 9},
+                        {"kind": "store", "region": "out"},
+                    ],
+                },
+            }],
+            "meta": _meta("insensitive", "Parboil", "Stencil", scale, seed),
+        }
+
+    if name == "WP":
+        # Four streamed field arrays, a long ALU block, a boundary
+        # re-touch of field 0, then the output store.
+        return {
+            **base,
+            "regions": ["field0", "field1", "field2", "field3", "out"],
+            "phases": [{
+                "primitive": "stream",
+                "params": {
+                    "elements_per_warp": 16,
+                    "body": [
+                        {"kind": "load", "region": "field0"},
+                        {"kind": "alu", "count": 3},
+                        {"kind": "load", "region": "field1"},
+                        {"kind": "alu", "count": 3},
+                        {"kind": "load", "region": "field2"},
+                        {"kind": "alu", "count": 3},
+                        {"kind": "load", "region": "field3"},
+                        {"kind": "alu", "count": 3},
+                        {"kind": "alu", "count": 8},
+                        {"kind": "load", "region": "field0"},
+                        {"kind": "alu", "count": 4},
+                        {"kind": "store", "region": "out"},
+                    ],
+                },
+            }],
+            "meta": _meta("insensitive", "CUDA SDK", "Weather Prediction",
+                          scale, seed),
+        }
+
+    if name == "FWT":
+        # Walsh butterflies: disjoint per-warp (2i, 2i+1) pairs over a
+        # 2x-length stream (index_stride 2, offsets 0 and 1).
+        return {
+            **base,
+            "regions": ["data"],
+            "phases": [{
+                "primitive": "stream",
+                "params": {
+                    "elements_per_warp": 20,
+                    "body": [
+                        {"kind": "load", "region": "data",
+                         "index_stride": 2, "index_offset": 0},
+                        {"kind": "load", "region": "data",
+                         "index_stride": 2, "index_offset": 1},
+                        {"kind": "alu", "count": 6},
+                        {"kind": "store", "region": "data",
+                         "index_stride": 2, "index_offset": 0},
+                        {"kind": "store", "region": "data",
+                         "index_stride": 2, "index_offset": 1},
+                    ],
+                },
+            }],
+            "meta": _meta("insensitive", "CUDA SDK", "Fast Walsh Transform",
+                          scale, seed),
+        }
+
+    raise KeyError(f"no pinned Table-1 spec for {name!r}; "
+                   f"available: {', '.join(TABLE1_BENCHMARKS)}")

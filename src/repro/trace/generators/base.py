@@ -20,11 +20,14 @@ Modelling conventions:
 
 from __future__ import annotations
 
+import math
 import random
 import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
+
+from repro.trace.errors import SpecError
 
 from repro.trace.trace import (
     CTATrace,
@@ -43,6 +46,8 @@ __all__ = [
     "TraceParams",
     "RegionAllocator",
     "BenchmarkGenerator",
+    "SpecError",
+    "validate_workload_params",
     "alu",
     "smem",
     "bar",
@@ -50,10 +55,55 @@ __all__ = [
     "store",
     "atom",
     "LINE",
+    "MAX_SCALE",
+    "MAX_SEED",
+    "MAX_WARPS_PER_CTA",
 ]
 
 #: Line size assumed by the generators (matches Table 2).
 LINE = 128
+
+#: Bounds shared by :class:`TraceParams` and the scenario schema.  The
+#: caps are deliberately generous — they exist to catch sign errors and
+#: unit confusion (a scale of 1e9, a negative seed), not to limit real
+#: experiments.
+MAX_SCALE = 1024.0
+MAX_SEED = 2**63 - 1
+MAX_WARPS_PER_CTA = 64
+
+
+def validate_workload_params(
+    scale: float, seed: int, warps_per_cta: int = 8, path: str = "params"
+) -> None:
+    """Validate the (scale, seed, warps_per_cta) triple every workload shares.
+
+    The single authority for these ranges: :class:`TraceParams` calls it
+    on construction (so *every* generator validates centrally, instead
+    of each constructor silently accepting garbage), and the scenario
+    schema calls it for spec-level fields — raising the same typed
+    :class:`~repro.trace.errors.SpecError` with an actionable field path.
+    """
+    if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+        raise SpecError(f"{path}.scale",
+                        f"expected a number, got {type(scale).__name__}")
+    if not math.isfinite(scale) or not 0 < scale <= MAX_SCALE:
+        raise SpecError(f"{path}.scale",
+                        f"expected 0 < scale <= {MAX_SCALE}, got {scale!r}")
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise SpecError(f"{path}.seed",
+                        f"expected an int, got {type(seed).__name__}")
+    if not 0 <= seed <= MAX_SEED:
+        raise SpecError(f"{path}.seed",
+                        f"expected 0 <= seed <= 2**63-1, got {seed!r}")
+    if isinstance(warps_per_cta, bool) or not isinstance(warps_per_cta, int):
+        raise SpecError(f"{path}.warps_per_cta",
+                        f"expected an int, got {type(warps_per_cta).__name__}")
+    if not 1 <= warps_per_cta <= MAX_WARPS_PER_CTA:
+        raise SpecError(
+            f"{path}.warps_per_cta",
+            f"expected 1 <= warps_per_cta <= {MAX_WARPS_PER_CTA}, "
+            f"got {warps_per_cta!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -70,6 +120,12 @@ class TraceParams:
     scale: float = 1.0
     seed: int = 0
     warps_per_cta: int = 8
+
+    def __post_init__(self) -> None:
+        # Central validation: every generator constructor goes through
+        # here, so out-of-range scale/seed can never be accepted
+        # silently anywhere in the suite.
+        validate_workload_params(self.scale, self.seed, self.warps_per_cta)
 
     def scaled(self, base_ctas: int, minimum: int = 8) -> int:
         """CTA count after applying ``scale``."""

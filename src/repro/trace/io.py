@@ -17,7 +17,14 @@ Format (version 1)::
       "ctas": [ [ [ [op, arg], ... ], ... ], ... ]
     }
 
-Memory-op payloads are address lists; ALU/SMEM payloads are counts.
+Memory-op payloads are address lists; ALU/SMEM/BAR payloads are counts.
+
+Round-trip contract: for any valid trace, ``dumps -> loads -> dumps``
+is byte-identical, and every instruction kind — OP_ATOM, OP_SMEM and
+OP_BAR included — survives structurally intact (memory payloads are
+normalized to tuples on load, matching what the generators emit).
+Files are always written and read as UTF-8 so the bytes are stable
+across platforms and locales.
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ def _encode(trace: KernelTrace) -> dict:
     for cta in trace.ctas:
         warps = []
         for warp in cta.warps:
+            # Memory payloads may arrive as tuples (generator output) or
+            # lists (hand-built traces); both encode identically, so the
+            # on-disk bytes never depend on the container type.
             warps.append(
                 [
                     [op, arg if op in _COUNT_OPS else list(arg)]
@@ -109,7 +119,7 @@ def loads_trace(text: str) -> KernelTrace:
 def save_trace(trace: KernelTrace, path: Union[str, Path, IO[str]]) -> None:
     """Write a trace to ``path`` (a filesystem path or open text file)."""
     if isinstance(path, (str, Path)):
-        Path(path).write_text(dumps_trace(trace))
+        Path(path).write_text(dumps_trace(trace), encoding="utf-8")
     else:
         path.write(dumps_trace(trace))
 
@@ -117,7 +127,7 @@ def save_trace(trace: KernelTrace, path: Union[str, Path, IO[str]]) -> None:
 def load_trace(path: Union[str, Path, IO[str]]) -> KernelTrace:
     """Read a trace written by :func:`save_trace`."""
     if isinstance(path, (str, Path)):
-        text = Path(path).read_text()
+        text = Path(path).read_text(encoding="utf-8")
     else:
         text = path.read()
     return loads_trace(text)

@@ -41,6 +41,7 @@ from repro.trace.trace import KernelTrace
 __all__ = [
     "GENERATORS",
     "ALL_BENCHMARKS",
+    "BENCHMARKS",
     "CACHE_SENSITIVE",
     "MODERATELY_SENSITIVE",
     "CACHE_INSENSITIVE",
@@ -70,6 +71,9 @@ GENERATORS: Dict[str, Type[BenchmarkGenerator]] = {
 }
 
 ALL_BENCHMARKS: List[str] = list(GENERATORS)
+
+#: Canonical alias used by parameterized test harnesses and docs.
+BENCHMARKS: List[str] = ALL_BENCHMARKS
 
 CACHE_SENSITIVE: List[str] = [
     "BFS", "KMN", "PVC", "SSC", "SD2", "SPMV", "SYRK", "IIX",

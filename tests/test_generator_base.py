@@ -12,7 +12,9 @@ from repro.trace.generators.base import (
     load,
     smem,
     store,
+    validate_workload_params,
 )
+from repro.trace.errors import SpecError
 from repro.trace.trace import OP_ALU, OP_BAR, OP_LOAD, OP_SMEM, OP_STORE
 
 
@@ -120,3 +122,60 @@ class TestPerWarpRNG:
         a = MiniGenerator(TraceParams(seed=0)).rng_for(0, 0).random()
         b = MiniGenerator(TraceParams(seed=1)).rng_for(0, 0).random()
         assert a != b
+
+
+class TestCentralValidation:
+    """TraceParams routes through validate_workload_params — the single
+    authority the scenario schema shares — so every generator rejects
+    out-of-range knobs with the same typed SpecError."""
+
+    def test_valid_params_pass(self):
+        validate_workload_params(1.0, 0)
+        validate_workload_params(0.05, 2**63 - 1, warps_per_cta=64)
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, 1e9, float("nan"),
+                                       float("inf"), "big", None, True])
+    def test_bad_scale(self, scale):
+        with pytest.raises(SpecError) as err:
+            validate_workload_params(scale, 0)
+        assert err.value.path == "params.scale"
+
+    @pytest.mark.parametrize("seed", [-1, 2**63, 1.5, "0", None, False])
+    def test_bad_seed(self, seed):
+        with pytest.raises(SpecError) as err:
+            validate_workload_params(1.0, seed)
+        assert err.value.path == "params.seed"
+
+    @pytest.mark.parametrize("wpc", [0, -4, 65, 2.0, True])
+    def test_bad_warps_per_cta(self, wpc):
+        with pytest.raises(SpecError) as err:
+            validate_workload_params(1.0, 0, warps_per_cta=wpc)
+        assert err.value.path == "params.warps_per_cta"
+
+    def test_custom_path_prefix(self):
+        with pytest.raises(SpecError) as err:
+            validate_workload_params(-2.0, 0, path="$")
+        assert err.value.path == "$.scale"
+
+    def test_trace_params_validates_on_construction(self):
+        with pytest.raises(SpecError, match="scale"):
+            TraceParams(scale=0.0)
+        with pytest.raises(SpecError, match="seed"):
+            TraceParams(seed=-5)
+        with pytest.raises(SpecError, match="warps_per_cta"):
+            TraceParams(warps_per_cta=0)
+
+    def test_generators_inherit_the_validation(self):
+        # Any generator constructor — they all take TraceParams — now
+        # rejects garbage centrally instead of silently accepting it.
+        from repro.trace.suite import build_benchmark
+
+        with pytest.raises(SpecError):
+            build_benchmark("SD1", scale=-1.0)
+
+    def test_spec_error_is_a_value_error(self):
+        # Callers that caught ValueError before the refactor still work.
+        assert issubclass(SpecError, ValueError)
+        err = SpecError("a.b", "broken")
+        assert err.path == "a.b"
+        assert err.reason == "broken"

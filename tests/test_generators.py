@@ -3,8 +3,10 @@
 import pytest
 
 from repro.trace.generators.base import RegionAllocator, TraceParams
+from repro.trace.io import dumps_trace
 from repro.trace.suite import (
     ALL_BENCHMARKS,
+    BENCHMARKS,
     CACHE_INSENSITIVE,
     CACHE_SENSITIVE,
     GENERATORS,
@@ -153,3 +155,45 @@ class TestPatternShapes:
             loads = [arg[0] for op, arg in warp if op == OP_LOAD]
             stores = [arg[0] for op, arg in warp if op == OP_STORE]
             assert set(stores) <= set(loads)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+class TestGeneratorInvariants:
+    """Whole-trace invariants for all 17 generators — the same contract
+    the scenario property harness enforces on primitives, pinned here on
+    the hand-written side of the differential."""
+
+    def test_full_trace_deterministic(self, name):
+        # Byte-level equality over the *entire* serialized trace, not
+        # just the first warp: address arithmetic in later CTAs must be
+        # as reproducible as in CTA 0.
+        a = dumps_trace(build_benchmark(name, **SMALL))
+        b = dumps_trace(build_benchmark(name, **SMALL))
+        assert a == b
+
+    def test_instruction_count_monotone_in_scale(self, name):
+        counts = [
+            build_benchmark(name, scale=s).instruction_count()
+            for s in (0.1, 0.2, 0.4)
+        ]
+        assert counts == sorted(counts)
+        assert counts[0] < counts[-1]
+
+    def test_all_memory_ops_region_bound_and_aligned(self, name):
+        # Stores and atomics too (TestRegionDisjointness samples loads
+        # on a CTA prefix; this sweeps every op of every warp).
+        trace = build_benchmark(name, **SMALL)
+        gen = GENERATORS[name](TraceParams(scale=0.1))
+        hi = gen.regions._next * RegionAllocator.REGION_BYTES
+        for cta in trace.ctas:
+            for warp in cta.warps:
+                for op, arg in warp:
+                    if op in (OP_LOAD, OP_STORE, OP_ATOM):
+                        for address in arg:
+                            assert address % 128 == 0
+                            assert RegionAllocator.REGION_BYTES <= address < hi
+
+    def test_warp_count_uniform(self, name):
+        trace = build_benchmark(name, **SMALL)
+        widths = {len(cta.warps) for cta in trace.ctas}
+        assert widths == {8}

@@ -1,0 +1,174 @@
+"""Trace-invariant property harness for scenario primitives.
+
+Every primitive in the registry — built-in or drop-in — must uphold the
+same contract for *arbitrary* valid parameters, which is what lets new
+primitives compose into sweeps without per-primitive review:
+
+* determinism: the same (spec, seed) builds the same bytes;
+* every memory address is line-aligned and inside a region the spec
+  declared (never region 0, never past the last region);
+* structural well-formedness: CTA/warp counts match the spec, memory
+  ops carry 1..32 lanes, count ops carry positive counts;
+* barrier counts agree across the warps of each CTA (a mismatched
+  barrier would deadlock the CTA);
+* scale monotonicity: raising the scale never shrinks the trace.
+
+Hypothesis strategies are derived *from the registered Field metadata*,
+so registering a primitive automatically subjects it to this harness —
+the registry is introspected at collection time, the strategies at
+draw time.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import PRIMITIVES, build_scenario
+from repro.scenarios.schema import STEP_FIELDS, MEM_STEP_KINDS, Field
+from repro.trace.generators.base import LINE, RegionAllocator
+from repro.trace.io import dumps_trace
+from repro.trace.trace import OP_ATOM, OP_BAR, OP_LOAD, OP_STORE
+
+REGIONS = ["r0", "r1"]
+
+#: Keep generated workloads small: cap every int field's upper bound.
+#: The cap is generous enough to exercise wrap-around and multi-line
+#: structure but keeps a single example under a few thousand ops.
+INT_CAP = 96
+
+
+def field_strategy(fld: Field):
+    """A Hypothesis strategy for one Field, derived from its metadata."""
+    if fld.kind == "int":
+        lo = int(fld.lo) if fld.lo is not None else 0
+        hi = min(int(fld.hi) if fld.hi is not None else INT_CAP,
+                 max(lo, INT_CAP))
+        return st.integers(min_value=lo, max_value=hi)
+    if fld.kind == "float":
+        lo = fld.lo if fld.lo is not None else 0.0
+        hi = fld.hi if fld.hi is not None else 8.0
+        return st.floats(min_value=lo, max_value=hi, allow_nan=False)
+    if fld.kind == "choice":
+        return st.sampled_from(list(fld.choices or ()))
+    if fld.kind == "bool":
+        return st.booleans()
+    if fld.kind == "region":
+        return st.sampled_from(REGIONS)
+    if fld.kind == "str":
+        # The only free-string field today is an optional region;
+        # exercise both "unset" and a declared region.
+        return st.sampled_from(["", REGIONS[0]])
+    if fld.kind == "steps":
+        return st.lists(step_strategy(), min_size=1, max_size=4)
+    raise AssertionError(f"unhandled field kind {fld.kind!r}")
+
+
+@st.composite
+def step_strategy(draw):
+    kind = draw(st.sampled_from(sorted(STEP_FIELDS)))
+    step = {"kind": kind}
+    for fname, fld in STEP_FIELDS[kind].items():
+        step[fname] = draw(field_strategy(fld))
+    return step
+
+
+def params_strategy(prim):
+    return st.fixed_dictionaries(
+        {name: field_strategy(fld) for name, fld in prim.PARAMS.items()}
+    )
+
+
+def spec_for(prim_name, params, seed, base_ctas=8, warps_per_cta=4):
+    return {
+        "format": "repro-scenario",
+        "version": 1,
+        "name": f"prop-{prim_name}",
+        "seed": seed,
+        "base_ctas": base_ctas,
+        "warps_per_cta": warps_per_cta,
+        "regions": list(REGIONS),
+        "phases": [{"primitive": prim_name, "params": params}],
+    }
+
+
+@pytest.mark.parametrize("prim_name", sorted(PRIMITIVES))
+class TestPrimitiveInvariants:
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_and_well_formed(self, prim_name, data):
+        prim = PRIMITIVES[prim_name]
+        params = data.draw(params_strategy(prim))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32))
+        doc = spec_for(prim_name, params, seed)
+
+        trace = build_scenario(doc)
+        # Determinism: a second build serializes to the same bytes.
+        assert dumps_trace(build_scenario(doc)) == dumps_trace(trace)
+
+        # Structural shape matches the spec (base_ctas=8 -> exactly 8).
+        assert len(trace.ctas) == 8
+        assert all(len(cta.warps) == 4 for cta in trace.ctas)
+
+        lo = RegionAllocator.REGION_BYTES
+        hi = (1 + len(REGIONS)) * RegionAllocator.REGION_BYTES
+        for cta in trace.ctas:
+            bar_counts = []
+            for warp in cta.warps:
+                bars = 0
+                for op, arg in warp:
+                    if op in (OP_LOAD, OP_STORE, OP_ATOM):
+                        assert 1 <= len(arg) <= 32
+                        for address in arg:
+                            # Line-aligned and inside a declared region.
+                            assert address % LINE == 0
+                            assert lo <= address < hi
+                    elif op == OP_BAR:
+                        bars += 1
+                    else:
+                        assert arg > 0  # positive ALU/SMEM counts
+                bar_counts.append(bars)
+            # Equal barrier counts per CTA, or the CTA deadlocks.
+            assert len(set(bar_counts)) == 1
+
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_scale_monotonicity(self, prim_name, data):
+        prim = PRIMITIVES[prim_name]
+        params = data.draw(params_strategy(prim))
+        doc = spec_for(prim_name, params, seed=0, base_ctas=16)
+        small = build_scenario(doc, scale=0.5)
+        large = build_scenario(doc, scale=1.0)
+        assert len(small.ctas) < len(large.ctas)
+        assert small.instruction_count() < large.instruction_count()
+
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_validate_passes(self, prim_name, data):
+        prim = PRIMITIVES[prim_name]
+        params = data.draw(params_strategy(prim))
+        build_scenario(spec_for(prim_name, params, seed=1)).validate()
+
+
+class TestRegistryContract:
+    """Static checks every registered primitive must satisfy for the
+    harness (and the schema) to cover it."""
+
+    @pytest.mark.parametrize("prim_name", sorted(PRIMITIVES))
+    def test_fields_are_typed(self, prim_name):
+        prim = PRIMITIVES[prim_name]
+        assert prim.doc, f"{prim_name} needs a one-line doc"
+        for fname, fld in prim.PARAMS.items():
+            assert isinstance(fld, Field), (prim_name, fname)
+            if fld.kind in ("int", "float"):
+                assert fld.lo is not None and fld.hi is not None, (
+                    f"{prim_name}.{fname}: numeric fields need bounds for "
+                    f"the property harness to derive strategies")
+
+    def test_mem_step_kinds_subset_of_step_fields(self):
+        assert set(MEM_STEP_KINDS) <= set(STEP_FIELDS)
+
+    def test_every_mem_step_declares_a_region(self):
+        for kind in MEM_STEP_KINDS:
+            assert STEP_FIELDS[kind]["region"].kind == "region"

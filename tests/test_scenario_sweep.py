@@ -1,0 +1,110 @@
+"""Tests for the generative workload space and the scenario sweep."""
+
+import pytest
+
+from repro.runner import CampaignEngine, ResultCache
+from repro.scenarios import (
+    SPACE_AXES,
+    generate_space,
+    run_scenario_sweep,
+    spec_digest,
+    validate_spec,
+)
+from repro.scenarios.sweep import WorkloadOutcome
+
+#: Small deterministic prefix reused by the determinism tests; scale
+#: 0.25 shrinks each workload to 24 CTAs so two sweeps stay fast.
+SMOKE = dict(specs=generate_space(limit=3), scale=0.25)
+
+
+class TestGenerateSpace:
+    def test_space_has_at_least_200_workloads(self):
+        assert len(generate_space()) >= 200
+
+    def test_every_spec_validates(self):
+        for doc in generate_space():
+            validate_spec(doc)
+
+    def test_names_and_digests_unique(self):
+        space = generate_space()
+        names = [d["name"] for d in space]
+        digests = [spec_digest(d) for d in space]
+        assert len(set(names)) == len(space)
+        assert len(set(digests)) == len(space)
+
+    def test_axes_recorded_in_meta(self):
+        for doc in generate_space():
+            for axis, values in SPACE_AXES.items():
+                assert doc["meta"][axis] in values
+
+    def test_limit_is_a_prefix(self):
+        assert generate_space(limit=5) == generate_space()[:5]
+
+    def test_full_factorial_size(self):
+        expected = 1
+        for values in SPACE_AXES.values():
+            expected *= len(values)
+        assert len(generate_space()) == expected
+
+
+class TestSweepDeterminism:
+    def test_two_runs_bit_identical(self):
+        a = run_scenario_sweep(**SMOKE)
+        b = run_scenario_sweep(**SMOKE)
+        assert a.manifest_json() == b.manifest_json()
+        assert a.report_markdown() == b.report_markdown()
+
+    def test_manifest_contains_no_wallclock(self):
+        result = run_scenario_sweep(**SMOKE)
+        manifest = result.manifest()
+        assert manifest["format"] == "repro-scenario-sweep"
+        for wl in manifest["workloads"]:
+            assert set(wl) == {"name", "spec_digest", "meta", "designs"}
+            for counters in wl["designs"].values():
+                assert set(counters) == {"ipc", "instructions", "cycles",
+                                         "l1"}
+
+    def test_scale_enters_the_digest(self):
+        a = run_scenario_sweep(**SMOKE)
+        b = run_scenario_sweep(specs=SMOKE["specs"], scale=0.5)
+        for wa, wb in zip(a.outcomes, b.outcomes):
+            assert wa.digest != wb.digest
+
+    def test_cache_serves_the_second_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_scenario_sweep(**SMOKE, engine=CampaignEngine(jobs=1, cache=cache))
+        engine = CampaignEngine(jobs=1, cache=cache)
+        result = run_scenario_sweep(**SMOKE, engine=engine)
+        assert engine.counters.cache_hits == 2 * len(SMOKE["specs"])
+        assert result.manifest_json()
+
+
+class TestReport:
+    def test_report_sections(self):
+        report = run_scenario_sweep(**SMOKE).report_markdown()
+        assert "# Scenario sweep: gc vs bs" in report
+        assert "## Speedup by axis" in report
+        assert "## Largest wins" in report
+        assert "## Largest losses" in report
+
+    def test_verdict_thresholds(self):
+        def outcome(ipc):
+            return WorkloadOutcome(
+                name="w", digest="d", meta={},
+                designs={"bs": {"ipc": 1.0}, "gc": {"ipc": ipc}})
+
+        assert outcome(1.05).verdict() == "win"
+        assert outcome(1.0).verdict() == "draw"
+        assert outcome(0.9).verdict() == "loss"
+
+    def test_counts_partition_the_space(self):
+        result = run_scenario_sweep(**SMOKE)
+        counts = result.counts()
+        assert sum(counts.values()) == len(SMOKE["specs"])
+
+
+class TestSweepConfiguration:
+    def test_unknown_design_surfaces_early(self):
+        with pytest.raises(ValueError, match="unknown designs"):
+            run_scenario_sweep(specs=generate_space(limit=1),
+                               designs=("bs", "warp-speed"), scale=0.25)

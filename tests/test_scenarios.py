@@ -1,0 +1,428 @@
+"""Tests for the declarative scenario layer (repro.scenarios).
+
+Covers the spec schema (typed errors with actionable field paths),
+canonicalization and content addressing, the primitive registry's
+drop-in contract, the builder, the byte-identical Table-1 differential
+pins, and the Task / EvalSuite / CLI integration.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import CampaignEngine, Task
+from repro.scenarios import (
+    PRIMITIVES,
+    Field,
+    Primitive,
+    ScenarioSpec,
+    SpecError,
+    TABLE1_BENCHMARKS,
+    build_scenario,
+    canonical_spec,
+    load_spec,
+    loads_spec,
+    register_primitive,
+    spec_digest,
+    table1_spec,
+    validate_spec,
+)
+from repro.trace.io import dumps_trace, load_trace
+from repro.trace.suite import build_benchmark
+from repro.trace.trace import OP_BAR
+
+
+def minimal_spec(**overrides):
+    """A small valid spec document (one working_set phase)."""
+    doc = {
+        "format": "repro-scenario",
+        "version": 1,
+        "name": "unit",
+        "base_ctas": 8,
+        "regions": ["r0"],
+        "phases": [
+            {
+                "primitive": "working_set",
+                "params": {"region": "r0", "tile_lines": 16, "reads": 8},
+            }
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestSchemaValidation:
+    def test_minimal_spec_validates(self):
+        spec = validate_spec(minimal_spec())
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.name == "unit"
+        assert spec.scale == 1.0  # default filled
+        assert spec.phases[0].params["scope"] == "global"  # default filled
+
+    def test_wrong_format(self):
+        with pytest.raises(SpecError) as err:
+            validate_spec(minimal_spec(format="other"))
+        assert err.value.path == "format"
+
+    def test_wrong_version(self):
+        with pytest.raises(SpecError, match="unsupported scenario version"):
+            validate_spec(minimal_spec(version=99))
+
+    def test_unknown_top_level_field_names_path(self):
+        with pytest.raises(SpecError) as err:
+            validate_spec(minimal_spec(wibble=3))
+        assert err.value.path == "wibble"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError) as err:
+            validate_spec(minimal_spec(name=""))
+        assert err.value.path == "name"
+
+    def test_scale_out_of_range_has_dollar_path(self):
+        with pytest.raises(SpecError) as err:
+            validate_spec(minimal_spec(scale=-1.0))
+        assert err.value.path == "$.scale"
+
+    def test_seed_bool_rejected(self):
+        with pytest.raises(SpecError) as err:
+            validate_spec(minimal_spec(seed=True))
+        assert err.value.path == "$.seed"
+
+    def test_duplicate_region(self):
+        with pytest.raises(SpecError) as err:
+            validate_spec(minimal_spec(regions=["r0", "r0"]))
+        assert err.value.path == "regions[1]"
+
+    def test_unknown_primitive_path_and_suggestions(self):
+        doc = minimal_spec(phases=[{"primitive": "warp_drive"}])
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert err.value.path == "phases[0].primitive"
+        assert "working_set" in err.value.reason  # lists the registry
+
+    def test_unknown_param_path(self):
+        doc = minimal_spec()
+        doc["phases"][0]["params"]["reds"] = 8
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert err.value.path == "phases[0].params.reds"
+
+    def test_missing_required_param_path(self):
+        doc = minimal_spec()
+        del doc["phases"][0]["params"]["region"]
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert err.value.path == "phases[0].params.region"
+
+    def test_param_out_of_range(self):
+        doc = minimal_spec()
+        doc["phases"][0]["params"]["reads"] = 0
+        with pytest.raises(SpecError, match="expected >= 1"):
+            validate_spec(doc)
+
+    def test_bool_not_accepted_as_int(self):
+        doc = minimal_spec()
+        doc["phases"][0]["params"]["reads"] = True
+        with pytest.raises(SpecError, match="expected an int"):
+            validate_spec(doc)
+
+    def test_undeclared_region_in_param(self):
+        doc = minimal_spec()
+        doc["phases"][0]["params"]["region"] = "nope"
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert "declared regions" in err.value.reason
+
+    def test_step_error_paths_reach_into_body(self):
+        doc = minimal_spec(phases=[{
+            "primitive": "stream",
+            "params": {"body": [
+                {"kind": "load", "region": "r0"},
+                {"kind": "teleport"},
+            ]},
+        }])
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert err.value.path == "phases[0].params.body[1].kind"
+
+    def test_phase_repeat_bounds(self):
+        doc = minimal_spec()
+        doc["phases"][0]["repeat"] = 0
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert err.value.path == "phases[0].repeat"
+
+    def test_error_message_carries_path_and_reason(self):
+        doc = minimal_spec(regions=[])
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert str(err.value).startswith("regions: ")
+
+    def test_loads_spec_rejects_bad_json(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            loads_spec("{nope", source="bad.json")
+
+
+class TestCanonicalization:
+    def test_key_order_and_defaults_do_not_change_digest(self):
+        explicit = minimal_spec(scale=1.0, seed=0, warps_per_cta=8,
+                                scratchpad_per_cta=0)
+        explicit["phases"][0]["repeat"] = 1
+        explicit["phases"][0]["barrier_after"] = False
+        reordered = dict(reversed(list(minimal_spec().items())))
+        assert spec_digest(explicit) == spec_digest(minimal_spec())
+        assert spec_digest(reordered) == spec_digest(minimal_spec())
+
+    def test_any_knob_changes_digest(self):
+        base = spec_digest(minimal_spec())
+        tweaked = minimal_spec()
+        tweaked["phases"][0]["params"]["tile_lines"] = 17
+        assert spec_digest(tweaked) != base
+
+    def test_scale_seed_overrides_enter_digest(self):
+        doc = minimal_spec()
+        assert spec_digest(doc, scale=0.5) != spec_digest(doc)
+        assert spec_digest(doc, seed=7) != spec_digest(doc)
+
+    def test_canonical_spec_is_json_round_trippable(self):
+        canon = canonical_spec(minimal_spec())
+        again = json.loads(json.dumps(canon))
+        assert canonical_spec(again) == canon
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(minimal_spec()), encoding="utf-8")
+        spec = load_spec(path)
+        assert spec.name == "unit"
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read spec"):
+            load_spec(tmp_path / "missing.json")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("stream", "working_set", "hot_table",
+                     "divergent_stream", "pointer_chase"):
+            assert name in PRIMITIVES
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_primitive
+            class Clash(Primitive):
+                name = "stream"
+                PARAMS = {}
+
+    def test_unnamed_primitive_rejected(self):
+        with pytest.raises(ValueError, match="needs a name"):
+
+            @register_primitive
+            class NoName(Primitive):
+                PARAMS = {}
+
+    def test_drop_in_primitive_is_schema_visible_and_buildable(self):
+        @register_primitive
+        class Quiet(Primitive):
+            name = "quiet-test-only"
+            doc = "emits pure ALU work"
+            PARAMS = {"count": Field("int", default=3, lo=1, hi=64)}
+
+            @classmethod
+            def emit(cls, ctx, params):
+                return [(0, params["count"])]
+
+        try:
+            doc = minimal_spec(phases=[{"primitive": "quiet-test-only",
+                                        "params": {"count": 5}}])
+            trace = build_scenario(doc)
+            assert trace.ctas[0].warps[0] == [(0, 5)]
+            # Schema validation consults the registry for parameters too.
+            bad = minimal_spec(phases=[{"primitive": "quiet-test-only",
+                                        "params": {"count": 0}}])
+            with pytest.raises(SpecError):
+                validate_spec(bad)
+        finally:
+            del PRIMITIVES["quiet-test-only"]
+
+
+class TestBuilder:
+    def test_deterministic_bytes(self):
+        a = dumps_trace(build_scenario(minimal_spec()))
+        b = dumps_trace(build_scenario(minimal_spec()))
+        assert a == b
+
+    def test_structure_matches_spec(self):
+        trace = build_scenario(minimal_spec(base_ctas=16, warps_per_cta=4))
+        assert len(trace.ctas) == 16
+        assert all(len(cta.warps) == 4 for cta in trace.ctas)
+
+    def test_scale_override_changes_cta_count(self):
+        small = build_scenario(minimal_spec(base_ctas=64), scale=0.25)
+        large = build_scenario(minimal_spec(base_ctas=64), scale=1.0)
+        assert len(small.ctas) == 16
+        assert len(large.ctas) == 64
+
+    def test_seed_changes_random_primitives(self):
+        doc = minimal_spec(phases=[{
+            "primitive": "hot_table",
+            "params": {"region": "r0", "accesses_per_warp": 8},
+        }])
+        a = build_scenario(doc, seed=0)
+        b = build_scenario(doc, seed=1)
+        assert a.ctas[0].warps[0] != b.ctas[0].warps[0]
+
+    def test_barrier_after_emits_one_bar_per_repeat(self):
+        doc = minimal_spec()
+        doc["phases"][0]["repeat"] = 3
+        doc["phases"][0]["barrier_after"] = True
+        trace = build_scenario(doc)
+        for cta in trace.ctas:
+            for warp in cta.warps:
+                assert sum(1 for op, _ in warp if op == OP_BAR) == 3
+
+    def test_default_meta_carries_digest(self):
+        doc = minimal_spec()
+        trace = build_scenario(doc)
+        assert trace.meta["scenario"] == "unit"
+        assert trace.meta["spec_digest"] == spec_digest(doc)
+
+    def test_explicit_meta_is_verbatim(self):
+        trace = build_scenario(minimal_spec(meta={"custom": 1}))
+        assert trace.meta == {"custom": 1}
+
+    def test_built_trace_validates(self):
+        build_scenario(minimal_spec()).validate()
+
+
+@pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
+class TestTable1DifferentialPins:
+    """The declarative layer's correctness anchor: four Table-1
+    benchmarks re-expressed as specs must reproduce the hand-written
+    generators *byte for byte* (serialized form, meta included)."""
+
+    def test_byte_identical_at_test_scale(self, name):
+        spec = table1_spec(name, scale=0.2, seed=0)
+        assert dumps_trace(build_scenario(spec)) == \
+            dumps_trace(build_benchmark(name, scale=0.2, seed=0))
+
+    def test_byte_identical_off_default_seed(self, name):
+        spec = table1_spec(name, scale=0.1, seed=11)
+        assert dumps_trace(build_scenario(spec)) == \
+            dumps_trace(build_benchmark(name, scale=0.1, seed=11))
+
+    def test_unknown_name_rejected(self, name):
+        with pytest.raises(KeyError, match="no pinned Table-1 spec"):
+            table1_spec(name + "X")
+
+
+class TestTaskIntegration:
+    def test_scenario_task_key_is_content_addressed(self):
+        doc = minimal_spec()
+        t1 = Task(kind="simulate", scenario=doc, fidelity="functional")
+        fp = t1.fingerprint()
+        assert fp["scenario"] == spec_digest(doc)
+        assert "benchmark" not in fp
+
+    def test_equivalent_docs_share_a_key(self):
+        sparse = minimal_spec()
+        explicit = minimal_spec(scale=1.0, seed=0, warps_per_cta=8)
+        a = Task(kind="simulate", scenario=sparse, fidelity="functional")
+        b = Task(kind="simulate", scenario=explicit, fidelity="functional")
+        assert a.key("s") == b.key("s")
+
+    def test_knob_change_invalidates_key(self):
+        tweaked = minimal_spec()
+        tweaked["phases"][0]["params"]["reads"] = 9
+        a = Task(kind="simulate", scenario=minimal_spec(),
+                 fidelity="functional")
+        b = Task(kind="simulate", scenario=tweaked, fidelity="functional")
+        assert a.key("s") != b.key("s")
+
+    def test_label_uses_scenario_name(self):
+        t = Task(kind="simulate", scenario=minimal_spec(),
+                 fidelity="functional")
+        assert t.label == "simulate[functional]:unit/bs"
+
+    def test_benchmark_and_scenario_are_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Task(kind="simulate", benchmark="SD1", scenario=minimal_spec())
+
+    def test_runs_through_the_engine(self):
+        engine = CampaignEngine(jobs=1)
+        result = engine.run_one(Task(kind="simulate",
+                                     scenario=minimal_spec(),
+                                     fidelity="functional"))
+        assert result.benchmark == "unit"
+        assert result.instructions > 0
+
+
+class TestEvalSuiteIntegration:
+    def test_scenarios_form_the_matrix(self):
+        from repro.experiments.common import EvalSuite
+
+        suite = EvalSuite(scenarios=[minimal_spec()], fidelity="functional")
+        assert suite.benchmarks == ["unit"]
+        results = suite.run_matrix(designs=("bs", "gc"))
+        assert set(results) == {("unit", "bs"), ("unit", "gc")}
+        assert suite.speedup("unit", "gc") > 0
+
+    def test_scenarios_mix_with_benchmarks(self):
+        from repro.experiments.common import EvalSuite
+
+        suite = EvalSuite(benchmarks=["SD1"], scenarios=[minimal_spec()],
+                          scale=0.1, fidelity="functional")
+        assert suite.benchmarks == ["SD1", "unit"]
+        # Scenario traces build through the scenario layer.
+        assert suite.trace("unit").name == "unit"
+        assert suite.trace("SD1").name == "SD1"
+
+    def test_duplicate_workload_name_rejected(self):
+        from repro.experiments.common import EvalSuite
+
+        with pytest.raises(ValueError, match="duplicate workload name"):
+            EvalSuite(scenarios=[minimal_spec(), minimal_spec()])
+
+
+class TestScenarioCLI:
+    def test_build_table1_writes_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sd1.json"
+        rc = main(["scenario", "build", "--table1", "SD1",
+                   "--scale", "0.1", "-o", str(out)])
+        assert rc == 0
+        trace = load_trace(out)
+        assert trace.name == "SD1"
+        assert "digest" in capsys.readouterr().out
+
+    def test_build_spec_file_and_canonical_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(minimal_spec()), encoding="utf-8")
+        canon_path = tmp_path / "canon.json"
+        rc = main(["scenario", "build", str(spec_path),
+                   "--spec-out", str(canon_path)])
+        assert rc == 0
+        canon = json.loads(canon_path.read_text(encoding="utf-8"))
+        assert canon == canonical_spec(minimal_spec())
+
+    def test_build_invalid_spec_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(minimal_spec(regions=[])),
+                       encoding="utf-8")
+        rc = main(["scenario", "build", str(bad)])
+        assert rc == 2
+        assert "invalid scenario spec" in capsys.readouterr().err
+
+    def test_primitives_reference(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "primitives"]) == 0
+        out = capsys.readouterr().out
+        assert "working_set" in out
+        assert "tile_lines" in out
+        assert "stream body step kinds" in out

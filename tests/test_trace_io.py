@@ -3,9 +3,21 @@
 import io
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st_
 
 from repro.trace.io import dumps_trace, load_trace, loads_trace, save_trace
 from repro.trace.suite import build_benchmark
+from repro.trace.trace import (
+    CTATrace,
+    KernelTrace,
+    OP_ALU,
+    OP_ATOM,
+    OP_BAR,
+    OP_LOAD,
+    OP_SMEM,
+    OP_STORE,
+)
 
 from conftest import alu, bar, ld, make_kernel, st
 
@@ -70,3 +82,73 @@ class TestValidationOnLoad:
         restored = loads_trace(dumps_trace(kernel))
         result = simulate(restored, tiny_config)
         assert result.instructions == kernel.instruction_count()
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis: the byte-identity round-trip contract holds for every
+    op kind — OP_ATOM, OP_SMEM and OP_BAR included, which no Table-1
+    benchmark exercises all at once."""
+
+    count_ops = st_.sampled_from([OP_ALU, OP_SMEM])
+    mem_ops = st_.sampled_from([OP_LOAD, OP_STORE, OP_ATOM])
+
+    instructions = st_.one_of(
+        st_.tuples(count_ops, st_.integers(min_value=1, max_value=64)),
+        st_.tuples(st_.just(OP_BAR), st_.just(0)),
+        st_.tuples(
+            mem_ops,
+            st_.lists(
+                st_.integers(min_value=0, max_value=1 << 20).map(
+                    lambda line: (1 << 30) + line * 128
+                ),
+                min_size=1,
+                max_size=32,
+            ).map(tuple),
+        ),
+    )
+
+    kernels = st_.builds(
+        lambda warps, ctas, spad: KernelTrace(
+            name="prop",
+            ctas=[CTATrace(warps=[list(w) for w in warps])
+                  for _ in range(ctas)],
+            scratchpad_per_cta=spad,
+            meta={"scale": 1.0, "seed": 0},
+        ),
+        warps=st_.lists(
+            st_.lists(instructions, min_size=1, max_size=30),
+            min_size=1, max_size=4,
+        ),
+        ctas=st_.integers(min_value=1, max_value=3),
+        spad=st_.sampled_from([0, 4096]),
+    )
+
+    @given(kernels)
+    @settings(max_examples=60, deadline=None)
+    def test_dumps_loads_dumps_byte_identical(self, kernel):
+        text = dumps_trace(kernel)
+        restored = loads_trace(text)
+        assert dumps_trace(restored) == text
+
+    @given(kernels)
+    @settings(max_examples=30, deadline=None)
+    def test_every_op_kind_survives_structurally(self, kernel):
+        restored = loads_trace(dumps_trace(kernel))
+        for cta, rcta in zip(kernel.ctas, restored.ctas):
+            for warp, rwarp in zip(cta.warps, rcta.warps):
+                assert [
+                    (op, arg if op in (OP_ALU, OP_SMEM, OP_BAR)
+                     else tuple(arg))
+                    for op, arg in warp
+                ] == rwarp
+
+    @given(kernels)
+    @settings(max_examples=20, deadline=None)
+    def test_file_round_trip_utf8(self, kernel):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "k.json"
+            save_trace(kernel, path)
+            assert dumps_trace(load_trace(path)) == dumps_trace(kernel)
